@@ -1,0 +1,1 @@
+bench/main.ml: Advbist Analyze Array Baselines Bechamel Benchmark Bist Circuits Datapath Dfg Hashtbl Hls Instance List Measure Option Paper_data Printf Result Staged String Sys Test Time Toolkit

@@ -1,0 +1,358 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (Section 4) and times the core kernels with Bechamel.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- tables       -- only the table regeneration
+     dune exec bench/main.exe -- micro        -- only the Bechamel benches
+
+   The ILP budget per instance defaults to 10 s (the paper allowed 24 CPU
+   hours per instance on CPLEX 6.0); override with ADVBIST_BENCH_BUDGET
+   (seconds).  Timed-out entries are marked with '*', exactly like the
+   paper's Table 2. *)
+
+let budget =
+  match Sys.getenv_opt "ADVBIST_BENCH_BUDGET" with
+  | Some s -> (try float_of_string s with Failure _ -> 10.0)
+  | None -> 10.0
+
+let line = String.make 78 '-'
+
+(* ---------------------------------------------------------------- Table 1 *)
+
+let table1 () =
+  Printf.printf "%s\nTable 1: transistor counts of 8-bit test registers and muxes\n%s\n"
+    line line;
+  Printf.printf "register kinds (paper = this repo by construction):\n";
+  List.iter
+    (fun kind ->
+      Printf.printf "  %-7s %4d\n"
+        (Datapath.Area.reg_kind_name kind)
+        (Datapath.Area.register kind))
+    Datapath.Area.[ Plain; Tpg; Sr; Bilbo; Cbilbo ];
+  Printf.printf "multiplexers (#inputs -> transistors):\n ";
+  List.iter (fun n -> Printf.printf " %d:%d" n (Datapath.Area.mux n)) [ 2; 3; 4; 5; 6; 7 ];
+  Printf.printf "\n  (>7 inputs: linear extrapolation at 54/input)\n\n"
+
+(* ---------------------------------------------------------------- Table 2 *)
+
+type t2_measured = {
+  mutable m_rows : (string * (float * float * bool) option array) list;
+}
+
+let table2 () =
+  Printf.printf "%s\nTable 2: ADVBIST area overhead (%%) and solve time per k-test session\n" line;
+  Printf.printf "budget: %.0fs per ILP (paper: 24 CPU hours on CPLEX 6.0); '*' = limit hit\n%s\n" budget line;
+  Printf.printf "%-9s %-4s | %-18s | %-18s\n" "circuit" "k" "paper (OH%, time)" "this repo (OH%, time)";
+  let acc = { m_rows = [] } in
+  List.iter
+    (fun (row : Paper_data.table2_row) ->
+      match Circuits.Suite.find row.Paper_data.t2_circuit with
+      | None -> ()
+      | Some p ->
+          let reference =
+            match Advbist.Synth.reference ~time_limit:budget p with
+            | Ok r -> r
+            | Error msg -> failwith msg
+          in
+          let n = Dfg.Problem.n_modules p in
+          let measured = Array.make 4 None in
+          for k = 1 to min n 4 do
+            match Advbist.Synth.synthesize ~time_limit:budget p ~k with
+            | Error msg ->
+                Printf.printf "%-9s k=%d  ERROR %s\n" row.Paper_data.t2_circuit
+                  k msg
+            | Ok o ->
+                let oh =
+                  Bist.Plan.overhead_pct o.Advbist.Synth.plan
+                    ~reference:reference.Advbist.Synth.ref_area
+                in
+                measured.(k - 1) <-
+                  Some (oh, o.Advbist.Synth.solve_time, o.Advbist.Synth.optimal);
+                let paper =
+                  match row.Paper_data.overheads.(k - 1) with
+                  | Some v ->
+                      Printf.sprintf "%5.1f%s %8s" v
+                        (if row.Paper_data.starred then "*" else " ")
+                        row.Paper_data.times.(k - 1)
+                  | None -> "      -"
+                in
+                Printf.printf "%-9s k=%d  | %-18s | %5.1f%s %6.1fs\n"
+                  row.Paper_data.t2_circuit k paper oh
+                  (if o.Advbist.Synth.optimal then " " else "*")
+                  o.Advbist.Synth.solve_time
+          done;
+          acc.m_rows <- (row.Paper_data.t2_circuit, measured) :: acc.m_rows)
+    Paper_data.table2;
+  (* shape check: overhead weakly decreasing in k for proven-optimal runs *)
+  Printf.printf "\nshape: overhead non-increasing with k (optimal entries)\n";
+  List.iter
+    (fun (name, measured) ->
+      let ok = ref true in
+      for k = 1 to 2 do
+        match (measured.(k - 1), measured.(k)) with
+        | Some (o1, _, true), Some (o2, _, true) ->
+            if o2 > o1 +. 1e-9 then ok := false
+        | _, _ -> ()
+      done;
+      Printf.printf "  %-9s %s\n" name (if !ok then "holds" else "VIOLATED"))
+    (List.rev acc.m_rows);
+  Printf.printf "\n"
+
+(* ---------------------------------------------------------------- Table 3 *)
+
+let table3 () =
+  Printf.printf "%s\nTable 3: high-level BIST synthesis systems at maximal k\n%s\n" line line;
+  Printf.printf "%-9s %-8s | %-30s | %-34s\n" "circuit" "method"
+    "paper R T S B C  M  area  OH%" "this repo R T S B C  M  area  OH%";
+  let dominance_ok = ref true in
+  List.iter
+    (fun (row : Paper_data.table3_row) ->
+      match Circuits.Suite.find row.Paper_data.t3_circuit with
+      | None -> ()
+      | Some p ->
+          let k = Dfg.Problem.n_modules p in
+          let reference =
+            match Advbist.Synth.reference ~time_limit:budget p with
+            | Ok r -> r
+            | Error msg -> failwith msg
+          in
+          Printf.printf "%-9s %-8s | %d            %2d  %4d        | %d            %2d  %4d\n"
+            row.Paper_data.t3_circuit "Ref." row.Paper_data.ref_r
+            row.Paper_data.ref_m row.Paper_data.ref_area
+            reference.Advbist.Synth.ref_netlist.Datapath.Netlist.n_registers
+            (Datapath.Netlist.total_mux_inputs
+               reference.Advbist.Synth.ref_netlist)
+            reference.Advbist.Synth.ref_area;
+          let advbist_area = ref max_int in
+          List.iter
+            (fun (pm : Paper_data.table3_method) ->
+              let result =
+                match pm.Paper_data.m_name with
+                | "ADVBIST" ->
+                    Result.map
+                      (fun (o : Advbist.Synth.outcome) -> o.Advbist.Synth.plan)
+                      (Advbist.Synth.synthesize ~time_limit:budget p ~k)
+                | "ADVAN" -> Baselines.Advan.synthesize p ~k
+                | "RALLOC" -> Baselines.Ralloc.synthesize p ~k
+                | "BITS" -> Baselines.Bits.synthesize p ~k
+                | other -> Error ("unknown method " ^ other)
+              in
+              match result with
+              | Error msg ->
+                  Printf.printf "%-9s %-8s | (paper: area %4d) | ERROR %s\n"
+                    "" pm.Paper_data.m_name pm.Paper_data.area msg
+              | Ok plan ->
+                  let tp, sr, bi, cb = Bist.Plan.kind_counts plan in
+                  let area = Bist.Plan.area plan in
+                  if pm.Paper_data.m_name = "ADVBIST" then advbist_area := area
+                  else if area < !advbist_area then dominance_ok := false;
+                  Printf.printf
+                    "%-9s %-8s | %d %d %d %d %d %2d  %4d  %4.1f | %d %d %d %d %d %2d  %4d  %4.1f\n"
+                    "" pm.Paper_data.m_name pm.Paper_data.r pm.Paper_data.t
+                    pm.Paper_data.s pm.Paper_data.b pm.Paper_data.c
+                    pm.Paper_data.mux_inputs pm.Paper_data.area pm.Paper_data.oh
+                    plan.Bist.Plan.netlist.Datapath.Netlist.n_registers tp sr
+                    bi cb
+                    (Datapath.Netlist.total_mux_inputs plan.Bist.Plan.netlist)
+                    area
+                    (Bist.Plan.overhead_pct plan
+                       ~reference:reference.Advbist.Synth.ref_area))
+            row.Paper_data.rows)
+    Paper_data.table3;
+  Printf.printf "\nshape: ADVBIST dominates every baseline on every circuit: %s\n\n"
+    (if !dominance_ok then "holds" else "VIOLATED")
+
+(* ------------------------------------------------------------- Ablations *)
+
+let ablation_symmetry () =
+  Printf.printf "%s\nAblation (Sec. 3.5): search-space reduction by symmetry pre-assignment\n%s\n" line line;
+  Printf.printf "%-9s %-4s | %12s %9s | %14s %9s\n" "circuit" "k"
+    "with: nodes" "time" "without: nodes" "time";
+  List.iter
+    (fun name ->
+      match Circuits.Suite.find name with
+      | None -> ()
+      | Some p ->
+          List.iter
+            (fun k ->
+              let run symmetry =
+                match
+                  Advbist.Synth.synthesize ~time_limit:budget ~symmetry p ~k
+                with
+                | Ok o ->
+                    ( o.Advbist.Synth.nodes,
+                      o.Advbist.Synth.solve_time,
+                      o.Advbist.Synth.optimal )
+                | Error _ -> (0, nan, false)
+              in
+              let n1, t1, o1 = run true in
+              let n2, t2, o2 = run false in
+              Printf.printf "%-9s k=%d  | %12d %7.2fs%s | %14d %7.2fs%s\n" name
+                k n1 t1
+                (if o1 then "" else "*")
+                n2 t2
+                (if o2 then "" else "*"))
+            [ 1 ])
+    [ "tseng"; "paulin" ];
+  Printf.printf "\n"
+
+let ablation_breakdown () =
+  Printf.printf "%s\nAblation: where ADVBIST's advantage comes from (Sec. 4.2:\n\"largely due to less multiplexer area\")\n%s\n" line line;
+  Printf.printf "%-9s %-8s %8s %8s %8s\n" "circuit" "method" "reg-area"
+    "mux-area" "total";
+  List.iter
+    (fun (name, p) ->
+      let k = Dfg.Problem.n_modules p in
+      let show mname (plan : Bist.Plan.t) =
+        let mux = Datapath.Netlist.mux_area plan.Bist.Plan.netlist in
+        let area = Bist.Plan.area plan in
+        Printf.printf "%-9s %-8s %8d %8d %8d\n" name mname (area - mux) mux
+          area
+      in
+      (match Advbist.Synth.synthesize ~time_limit:budget p ~k with
+      | Ok o -> show "ADVBIST" o.Advbist.Synth.plan
+      | Error _ -> ());
+      List.iter
+        (fun (mname, f) ->
+          match f p ~k with Ok plan -> show mname plan | Error _ -> ())
+        [
+          ("ADVAN", Baselines.Advan.synthesize);
+          ("RALLOC", Baselines.Ralloc.synthesize);
+          ("BITS", Baselines.Bits.synthesize);
+        ])
+    Circuits.Suite.all;
+  Printf.printf "\n"
+
+let ablation_concurrent_vs_sequential () =
+  Printf.printf "%s\nAblation: concurrent ILP vs decoupled synthesis (left-edge data path +\noptimal sessions) - the paper's core claim is that concurrency wins\n%s\n" line line;
+  Printf.printf "%-9s %-4s %10s %12s %8s\n" "circuit" "k" "decoupled"
+    "concurrent" "saved";
+  List.iter
+    (fun (name, p) ->
+      let k = Dfg.Problem.n_modules p in
+      match
+        ( Advbist.Heuristic.synthesize p ~k,
+          Advbist.Synth.synthesize ~time_limit:budget p ~k )
+      with
+      | Ok h, Ok o ->
+          let ha = Bist.Plan.area h.Advbist.Session_opt.plan in
+          Printf.printf "%-9s k=%d  %10d %12d %7.1f%%\n" name k ha
+            o.Advbist.Synth.area
+            (100.0 *. float_of_int (ha - o.Advbist.Synth.area) /. float_of_int ha)
+      | Error msg, _ | _, Error msg -> Printf.printf "%-9s %s\n" name msg)
+    Circuits.Suite.all;
+  Printf.printf "\n"
+
+let scalability () =
+  Printf.printf "%s\nScalability: beyond the paper's circuits (5th-order elliptic wave filter)\n%s\n" line line;
+  let p = Circuits.Suite.ewf in
+  let g = p.Dfg.Problem.dfg in
+  Printf.printf "ewf: %d ops, %d steps, %d registers, %d modules\n"
+    (Dfg.Graph.n_ops g) g.Dfg.Graph.n_steps
+    (Dfg.Problem.min_registers p) (Dfg.Problem.n_modules p);
+  (match Advbist.Heuristic.synthesize p ~k:4 with
+  | Ok o ->
+      Printf.printf "  decoupled heuristic: area %d (%.2fs)\n"
+        (Bist.Plan.area o.Advbist.Session_opt.plan) o.Advbist.Session_opt.time_s
+  | Error msg -> Printf.printf "  decoupled heuristic: %s\n" msg);
+  List.iter
+    (fun k ->
+      match Advbist.Synth.synthesize ~time_limit:budget p ~k with
+      | Ok o ->
+          Printf.printf "  concurrent ILP k=%d: area %d%s (%.1fs, %d nodes)\n" k
+            o.Advbist.Synth.area
+            (if o.Advbist.Synth.optimal then "" else " *")
+            o.Advbist.Synth.solve_time o.Advbist.Synth.nodes
+      | Error msg -> Printf.printf "  concurrent ILP k=%d: %s\n" k msg)
+    [ 1; 4 ];
+  Printf.printf "\n"
+
+(* ------------------------------------------------------ Bechamel microbench *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let fig1 = Dfg.Benchmarks.fig1 in
+  let tests =
+    [
+      (* one Test.make per paper table, timing its core computational unit *)
+      Test.make ~name:"table1:area-model"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun n -> ignore (Datapath.Area.mux n))
+               [ 2; 3; 4; 5; 6; 7; 8 ]));
+      Test.make ~name:"table2:advbist-fig1-k2"
+        (Staged.stage (fun () ->
+             ignore (Advbist.Synth.synthesize ~time_limit:5.0 fig1 ~k:2)));
+      Test.make ~name:"table3:baseline-advan-tseng"
+        (Staged.stage (fun () ->
+             ignore
+               (Baselines.Advan.synthesize Dfg.Benchmarks.tseng
+                  ~k:3)));
+      (* supporting kernels *)
+      Test.make ~name:"encoding:build-tseng-k3"
+        (Staged.stage (fun () ->
+             ignore
+               (Advbist.Encoding.build Dfg.Benchmarks.tseng ~n_regs:5 ~k:3)));
+      Test.make ~name:"session-opt:tseng-k3"
+        (Staged.stage
+           (let d =
+              match Advbist.Heuristic.netlist Dfg.Benchmarks.tseng with
+              | Ok d -> d
+              | Error msg -> failwith msg
+            in
+            fun () -> ignore (Advbist.Session_opt.solve d ~k:3)));
+      Test.make ~name:"lfsr:255-patterns"
+        (Staged.stage (fun () ->
+             let l = Bist.Lfsr.create ~width:8 () in
+             for _ = 1 to 255 do
+               ignore (Bist.Lfsr.step l)
+             done));
+      Test.make ~name:"fault-sim:adder-64-patterns"
+        (Staged.stage
+           (let c = Bist.Gates.build Dfg.Op_kind.Add ~width:8 in
+            fun () ->
+              ignore (Bist.Fault_sim.random_pattern_coverage c ~n_patterns:64 ())));
+      Test.make ~name:"left-edge:wavelet6"
+        (Staged.stage (fun () ->
+             ignore
+               (Hls.Regalloc.allocate
+                  (Option.get (Circuits.Suite.find "wavelet6")).Dfg.Problem.dfg)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  Printf.printf "%s\nBechamel micro-benchmarks (monotonic clock per run)\n%s\n" line line;
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let results_ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                       ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "  %-32s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        results_ols)
+    tests;
+  Printf.printf "\n"
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "all" || what = "tables" then begin
+    table1 ();
+    table2 ();
+    table3 ();
+    ablation_symmetry ();
+    ablation_breakdown ();
+    ablation_concurrent_vs_sequential ();
+    scalability ()
+  end;
+  if what = "all" || what = "micro" then micro ()

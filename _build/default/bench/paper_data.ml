@@ -1,0 +1,115 @@
+(* Published numbers from the paper (DAC'99), used by the benchmark harness
+   to print paper-vs-measured comparisons.
+
+   Absolute values cannot be expected to match: the paper's exact scheduled
+   DFGs (HYPER outputs and their tseng/paulin versions) are not published,
+   so this repository re-derives structurally equivalent instances (see
+   DESIGN.md).  What must reproduce is the *shape*: overheads fall with k,
+   ADVBIST dominates the three baselines everywhere, RALLOC pays for extra
+   registers, and the ADVBIST advantage concentrates in multiplexer area. *)
+
+(* Table 2: ADVBIST area overhead (%) per circuit and k-test session; [None]
+   where k exceeds the circuit's module count.  [starred] entries hit the
+   paper's 24-hour CPU limit. *)
+type table2_row = {
+  t2_circuit : string;
+  overheads : float option array;  (* k = 1 .. 4 *)
+  starred : bool;
+  times : string array;  (* as printed in the paper *)
+}
+
+let table2 =
+  [
+    { t2_circuit = "tseng";
+      overheads = [| Some 33.8; Some 28.2; Some 25.7; None |];
+      starred = false;
+      times = [| "58s"; "1m 22s"; "35s"; "-" |] };
+    { t2_circuit = "paulin";
+      overheads = [| Some 37.5; Some 28.1; Some 25.3; Some 25.3 |];
+      starred = false;
+      times = [| "4h 42m"; "24m 55s"; "11m 40s"; "59m 34s" |] };
+    { t2_circuit = "fir6";
+      overheads = [| Some 30.1; Some 21.2; Some 15.3; None |];
+      starred = false;
+      times = [| "17m 34s"; "40m 16s"; "23h 56m"; "-" |] };
+    { t2_circuit = "iir3";
+      overheads = [| Some 23.6; Some 17.3; Some 16.3; None |];
+      starred = false;
+      times = [| "3h 11m"; "2h 6m"; "2h 50m"; "-" |] };
+    { t2_circuit = "dct4";
+      overheads = [| Some 23.3; Some 24.9; Some 45.5; Some 28.3 |];
+      starred = true;
+      times = [| "24h"; "24h"; "24h"; "24h" |] };
+    { t2_circuit = "wavelet6";
+      overheads = [| Some 13.9; Some 11.3; Some 11.3; None |];
+      starred = false;
+      times = [| "11m 9s"; "10h 5m"; "14h 39m"; "-" |] };
+  ]
+
+(* Table 3: method comparison at the maximal session count.
+   (R, T, S, B, C, M, area, overhead %); the reference rows carry only R, M
+   and area. *)
+type table3_method = {
+  m_name : string;
+  r : int;
+  t : int;
+  s : int;
+  b : int;
+  c : int;
+  mux_inputs : int;
+  area : int;
+  oh : float;
+}
+
+type table3_row = {
+  t3_circuit : string;
+  max_k : int;
+  ref_r : int;
+  ref_m : int;
+  ref_area : int;
+  rows : table3_method list;
+}
+
+let m name r t s b c mux_inputs area oh =
+  { m_name = name; r; t; s; b; c; mux_inputs; area; oh }
+
+let table3 =
+  [
+    { t3_circuit = "tseng"; max_k = 3; ref_r = 5; ref_m = 14; ref_area = 1600;
+      rows =
+        [ m "ADVBIST" 5 2 1 2 0 14 2152 25.7;
+          m "ADVAN" 5 2 1 0 0 23 2368 32.4;
+          m "RALLOC" 5 1 0 3 0 14 2300 30.4;
+          m "BITS" 5 2 1 1 0 20 2436 34.3 ] };
+    { t3_circuit = "paulin"; max_k = 4; ref_r = 5; ref_m = 19; ref_area = 1856;
+      rows =
+        [ m "ADVBIST" 5 2 2 1 0 23 2484 25.3;
+          m "ADVAN" 5 3 1 0 0 26 2684 30.8;
+          m "RALLOC" 5 1 0 3 0 25 2892 35.8;
+          m "BITS" 5 2 0 0 1 27 3024 38.6 ] };
+    { t3_circuit = "fir6"; max_k = 3; ref_r = 7; ref_m = 20; ref_area = 2576;
+      rows =
+        [ m "ADVBIST" 7 4 1 0 0 26 3040 15.3;
+          m "ADVAN" 7 2 1 0 0 28 3308 22.1;
+          m "RALLOC" 8 1 1 2 0 36 4212 38.8;
+          m "BITS" 7 1 0 0 1 24 3280 21.5 ] };
+    { t3_circuit = "iir3"; max_k = 3; ref_r = 6; ref_m = 22; ref_area = 2224;
+      rows =
+        [ m "ADVBIST" 6 5 1 0 0 23 2656 16.3;
+          m "ADVAN" 6 3 1 0 0 32 3432 35.2;
+          m "RALLOC" 7 1 0 2 0 38 4212 47.2;
+          m "BITS" 6 2 0 2 0 29 3176 30.0 ] };
+    { t3_circuit = "dct4"; max_k = 4; ref_r = 6; ref_m = 24; ref_area = 2320;
+      rows =
+        [ m "ADVBIST" 6 3 1 1 0 32 3236 28.3;
+          m "ADVAN" 6 3 1 0 0 35 3420 32.2;
+          m "RALLOC" 6 1 1 2 0 37 3812 39.1;
+          m "BITS" 7 1 1 0 1 38 4180 44.5 ] };
+    { t3_circuit = "wavelet6"; max_k = 3; ref_r = 7; ref_m = 25;
+      ref_area = 2880;
+      rows =
+        [ m "ADVBIST" 7 2 2 0 0 31 3248 11.3;
+          m "ADVAN" 7 2 1 0 0 46 4182 31.1;
+          m "RALLOC" 8 1 0 3 0 50 5186 44.5;
+          m "BITS" 7 1 0 2 0 40 3946 27.0 ] };
+  ]

@@ -1,0 +1,91 @@
+(* ilp_cli — standalone driver for the ILP substrate: solve CPLEX-LP files
+   with the branch & bound solver or just their LP relaxation.
+
+     dune exec bin/ilp_cli.exe -- solve model.lp [-t SECONDS]
+     dune exec bin/ilp_cli.exe -- relax model.lp
+     dune exec bin/ilp_cli.exe -- stats model.lp *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Model in CPLEX LP format.")
+
+let time_limit_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t"; "time-limit" ] ~docv:"SECONDS" ~doc:"Solver time limit.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log incumbents.")
+
+let load path =
+  match Ilp.Lp_parse.of_file path with
+  | Ok p -> p
+  | Error msg ->
+      Printf.eprintf "ilp: %s\n" msg;
+      exit 1
+
+let solve_cmd =
+  let run path time_limit verbose =
+    let { Ilp.Lp_parse.model; negated } = load path in
+    Printf.printf "%s\n" (Ilp.Model.stats model);
+    let options = { Ilp.Solver.default with Ilp.Solver.time_limit; verbose } in
+    let r = Ilp.Solver.solve ~options model in
+    let sign v = if negated then -v else v in
+    (match r.Ilp.Solver.status with
+    | Ilp.Solver.Optimal ->
+        Printf.printf "status: optimal\nobjective: %d\n"
+          (sign (Option.get r.Ilp.Solver.objective))
+    | Ilp.Solver.Feasible ->
+        Printf.printf "status: feasible (limit hit)\nobjective: %d\nbound: %d\n"
+          (sign (Option.get r.Ilp.Solver.objective))
+          (sign r.Ilp.Solver.bound)
+    | Ilp.Solver.Infeasible -> Printf.printf "status: infeasible\n"
+    | Ilp.Solver.Unknown -> Printf.printf "status: unknown (limit hit)\n");
+    Printf.printf "nodes: %d\ntime: %.3fs\n" r.Ilp.Solver.nodes
+      r.Ilp.Solver.time_s;
+    match r.Ilp.Solver.solution with
+    | None -> ()
+    | Some x ->
+        for v = 0 to Ilp.Model.n_vars model - 1 do
+          if x.(v) <> 0 then
+            Printf.printf "  %s = %d\n" (Ilp.Model.var_name model v) x.(v)
+        done
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve an integer program to optimality.")
+    Term.(const run $ file_arg $ time_limit_arg $ verbose_arg)
+
+let relax_cmd =
+  let run path =
+    let { Ilp.Lp_parse.model; negated } = load path in
+    match Ilp.Simplex.relax model with
+    | Ilp.Simplex.Optimal { objective; _ } ->
+        Printf.printf "lp relaxation: %.6f\n"
+          (if negated then -.objective else objective)
+    | Ilp.Simplex.Infeasible -> Printf.printf "lp relaxation: infeasible\n"
+    | Ilp.Simplex.Unbounded -> Printf.printf "lp relaxation: unbounded\n"
+    | Ilp.Simplex.Iteration_limit ->
+        Printf.printf "lp relaxation: iteration limit\n"
+  in
+  Cmd.v (Cmd.info "relax" ~doc:"Solve only the LP relaxation (simplex).")
+    Term.(const run $ file_arg)
+
+let stats_cmd =
+  let run path =
+    let { Ilp.Lp_parse.model; _ } = load path in
+    Printf.printf "%s\n" (Ilp.Model.stats model)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print model dimensions.")
+    Term.(const run $ file_arg)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ilp" ~version:"1.0.0"
+             ~doc:"Standalone 0-1/integer linear programming solver")
+          [ solve_cmd; relax_cmd; stats_cmd ]))

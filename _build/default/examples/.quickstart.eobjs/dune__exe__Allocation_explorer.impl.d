@@ -1,0 +1,1 @@
+examples/allocation_explorer.ml: Advbist Bist Dfg Format Hls List Printf String

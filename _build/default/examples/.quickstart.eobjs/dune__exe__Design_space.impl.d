@@ -1,0 +1,1 @@
+examples/design_space.ml: Advbist Baselines Bist Circuits Datapath Dfg Format List Option String

@@ -1,0 +1,1 @@
+examples/fault_coverage.ml: Bist Datapath Dfg Format List

@@ -1,0 +1,1 @@
+examples/fir_bist_flow.ml: Advbist Bist Datapath Dfg Format Hls List

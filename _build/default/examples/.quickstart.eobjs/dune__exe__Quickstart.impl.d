@@ -1,0 +1,1 @@
+examples/quickstart.ml: Advbist Bist Dfg Format List

@@ -1,0 +1,47 @@
+(* From kernel to self-testable silicon, with the allocation step explicit:
+   explore module allocations for the IIR filter, look at the
+   (units, latency) Pareto front, pick one point, and push it through BIST
+   synthesis — the step the paper treats as "known a priori".
+
+   Run with:  dune exec examples/allocation_explorer.exe *)
+
+let () =
+  let kernel = Hls.Kernel.iir3 in
+  Format.printf "kernel %s: %d operations, critical path %d steps@.@."
+    kernel.Hls.Kernel.kname (Hls.Kernel.n_ops kernel)
+    (Hls.Schedule.critical_path kernel);
+
+  let points =
+    Hls.Allocate.explore ~max_per_class:3 ~inputs_at_start:true kernel
+  in
+  Format.printf "allocations explored: %d@." (List.length points);
+  Format.printf "@.Pareto front (total units vs schedule latency):@.";
+  let front = Hls.Allocate.pareto points in
+  List.iter
+    (fun (p : Hls.Allocate.point) ->
+      Format.printf "  %d units (%s) -> %d steps, %d registers@."
+        p.Hls.Allocate.total_units
+        (String.concat " + "
+           (List.map
+              (fun (fu, n) -> Printf.sprintf "%d %s" n fu.Dfg.Fu_kind.fu_name)
+              p.Hls.Allocate.counts))
+        p.Hls.Allocate.latency
+        (Dfg.Problem.min_registers p.Hls.Allocate.problem))
+    front;
+
+  (* Pick the fastest point on the front and make it self-testable. *)
+  match List.rev front with
+  | [] -> Format.printf "no feasible allocation@."
+  | fastest :: _ ->
+      let problem = fastest.Hls.Allocate.problem in
+      let k = Dfg.Problem.n_modules problem in
+      Format.printf "@.synthesizing BIST for the fastest point (k = %d)...@." k;
+      (match Advbist.Synth.synthesize ~time_limit:20.0 problem ~k with
+      | Error msg -> Format.printf "  %s@." msg
+      | Ok o ->
+          Format.printf "%a@." Bist.Plan.pp o.Advbist.Synth.plan;
+          let t = Bist.Test_time.estimate o.Advbist.Synth.plan in
+          Format.printf "test time: %d cycles over %d sessions@."
+            t.Bist.Test_time.cycles t.Bist.Test_time.sessions_used;
+          Format.printf "@.test controller program:@.%s"
+            (Bist.Controller.summary o.Advbist.Synth.plan))

@@ -1,0 +1,89 @@
+(* Design-space exploration on the tseng benchmark: area/test-time trade-off
+   across k-test sessions, and the four synthesis methods side by side — a
+   miniature of the paper's Tables 2 and 3.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+let () =
+  let name = "tseng" in
+  let p = Option.get (Circuits.Suite.find name) in
+  let n = Dfg.Problem.n_modules p in
+
+  let reference =
+    match Advbist.Synth.reference ~time_limit:15.0 p with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  Format.printf "%s: reference area %d (%s)@.@." name
+    reference.Advbist.Synth.ref_area
+    (if reference.Advbist.Synth.ref_optimal then "optimal" else "best found");
+
+  (* The area / test-time trade-off offered by ADVBIST: one optimal design
+     per k (a k-test session runs k sub-tests, so larger k = longer test
+     but cheaper test hardware). *)
+  Format.printf "ADVBIST k-sweep:@.";
+  Format.printf "  k   area  overhead  status@.";
+  List.iter
+    (fun k ->
+      match Advbist.Synth.synthesize ~time_limit:15.0 p ~k with
+      | Error msg -> Format.printf "  %d   %s@." k msg
+      | Ok o ->
+          Format.printf "  %d  %5d   %5.1f%%   %s@." k o.Advbist.Synth.area
+            (Bist.Plan.overhead_pct o.Advbist.Synth.plan
+               ~reference:reference.Advbist.Synth.ref_area)
+            (if o.Advbist.Synth.optimal then "optimal" else "time limit *"))
+    (List.init n (fun i -> i + 1));
+
+  (* The test-time side of the trade-off: cycles per design and the Pareto
+     front over (area, test time). *)
+  let candidates =
+    List.filter_map
+      (fun k ->
+        match Advbist.Synth.synthesize ~time_limit:15.0 p ~k with
+        | Ok o -> Some (k, o.Advbist.Synth.plan)
+        | Error _ -> None)
+      (List.init n (fun i -> i + 1))
+  in
+  Format.printf "@.test time (255 patterns/session):@.";
+  List.iter
+    (fun (k, plan) ->
+      let t = Bist.Test_time.estimate plan in
+      Format.printf "  k=%d: %d cycles in %d sessions, area %d@." k
+        t.Bist.Test_time.cycles t.Bist.Test_time.sessions_used
+        (Bist.Plan.area plan))
+    candidates;
+  Format.printf "Pareto front (area vs cycles): k in {%s}@."
+    (String.concat ", "
+       (List.map (fun (k, _) -> string_of_int k) (Bist.Test_time.pareto candidates)));
+
+  (* Test program of the cheapest design. *)
+  (match List.rev candidates with
+  | (k, plan) :: _ ->
+      Format.printf "@.test program for k=%d:@.%s" k (Bist.Controller.summary plan)
+  | [] -> ());
+
+  (* Method comparison at maximal k (the paper's Table 3 view). *)
+  Format.printf "@.method comparison (k = %d):@." n;
+  Format.printf "  %-8s %2s %2s %2s %2s %2s %3s %6s %s@." "method" "R" "T"
+    "S" "B" "C" "M" "area" "overhead";
+  let show mname (plan : Bist.Plan.t) =
+    let tp, sr, bi, cb = Bist.Plan.kind_counts plan in
+    Format.printf "  %-8s %2d %2d %2d %2d %2d %3d %6d  %5.1f%%@." mname
+      plan.Bist.Plan.netlist.Datapath.Netlist.n_registers tp sr bi cb
+      (Datapath.Netlist.total_mux_inputs plan.Bist.Plan.netlist)
+      (Bist.Plan.area plan)
+      (Bist.Plan.overhead_pct plan ~reference:reference.Advbist.Synth.ref_area)
+  in
+  (match Advbist.Synth.synthesize ~time_limit:15.0 p ~k:n with
+  | Ok o -> show "ADVBIST" o.Advbist.Synth.plan
+  | Error msg -> Format.printf "  ADVBIST: %s@." msg);
+  List.iter
+    (fun (mname, f) ->
+      match f p ~k:n with
+      | Ok plan -> show mname plan
+      | Error msg -> Format.printf "  %-8s %s@." mname msg)
+    [
+      ("ADVAN", Baselines.Advan.synthesize);
+      ("RALLOC", Baselines.Ralloc.synthesize);
+      ("BITS", Baselines.Bits.synthesize);
+    ]

@@ -1,0 +1,56 @@
+(* Quickstart: the paper's Fig. 1 example, end to end.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   1. Describe a scheduled DFG (either with the builder or the textual
+      format).
+   2. Synthesize the area-optimal non-BIST reference data path.
+   3. Synthesize an optimal BIST design for every k-test session.
+   4. Inspect the resulting plan: register reconfigurations and area. *)
+
+let () =
+  (* The same DFG as Dfg.Benchmarks.fig1, but written in the exchange
+     format to demonstrate parsing. *)
+  let source =
+    {|
+    (dfg
+     (name fig1)
+     (inputs v0 v1 v2 v3)
+     (op add (step 0) (in v0 v1) (out v4))
+     (op add (step 1) (in v3 v4) (out v5))
+     (op mul (step 1) (in v4 v2) (out v6))
+     (op mul (step 2) (in v5 v6) (out v7)))
+    |}
+  in
+  let g =
+    match Dfg.Parse.of_string source with
+    | Ok g -> g
+    | Error msg -> failwith msg
+  in
+  Format.printf "%a@.@." Dfg.Graph.pp g;
+
+  (* One adder and one multiplier, as in the paper. *)
+  let problem =
+    Dfg.Problem.make_exn g [ Dfg.Fu_kind.adder; Dfg.Fu_kind.multiplier ]
+  in
+  Format.printf "minimum registers: %d@." (Dfg.Problem.min_registers problem);
+
+  (* Reference (non-BIST) data path: optimal in area. *)
+  (match Advbist.Synth.reference ~time_limit:30.0 problem with
+  | Error msg -> failwith msg
+  | Ok r ->
+      Format.printf "reference area: %d transistors (optimal: %b)@.@."
+        r.Advbist.Synth.ref_area r.Advbist.Synth.ref_optimal;
+
+      (* BIST designs for k = 1 .. N. *)
+      List.iter
+        (fun k ->
+          match Advbist.Synth.synthesize ~time_limit:30.0 problem ~k with
+          | Error msg -> Format.printf "k=%d: %s@." k msg
+          | Ok o ->
+              Format.printf "=== k = %d ===@.%a@.area %d, overhead %.1f%%%s@.@."
+                k Bist.Plan.pp o.Advbist.Synth.plan o.Advbist.Synth.area
+                (Bist.Plan.overhead_pct o.Advbist.Synth.plan
+                   ~reference:r.Advbist.Synth.ref_area)
+                (if o.Advbist.Synth.optimal then " (proven optimal)" else " *"))
+        [ 1; 2 ])

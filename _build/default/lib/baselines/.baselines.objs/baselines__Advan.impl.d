@@ -1,0 +1,1 @@
+lib/baselines/advan.ml: Common Datapath Dfg Hls Result

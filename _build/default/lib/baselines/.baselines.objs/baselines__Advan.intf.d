@@ -1,0 +1,1 @@
+lib/baselines/advan.mli: Bist Datapath Dfg

@@ -1,0 +1,1 @@
+lib/baselines/bits.ml: Array Common Datapath Dfg Fun Hls List Result

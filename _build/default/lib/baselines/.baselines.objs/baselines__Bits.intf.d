@@ -1,0 +1,1 @@
+lib/baselines/bits.mli: Bist Datapath Dfg

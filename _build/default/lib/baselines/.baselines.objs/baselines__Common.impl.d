@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Bist Datapath Dfg Fun List Printf

@@ -1,0 +1,1 @@
+lib/baselines/ralloc.ml: Array Common Datapath Dfg Fun Hashtbl Hls List Result

@@ -1,0 +1,1 @@
+lib/baselines/ralloc.mli: Bist Datapath Dfg

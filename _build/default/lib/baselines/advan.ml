@@ -1,0 +1,29 @@
+let ( let* ) r f = Result.bind r f
+
+let netlist (p : Dfg.Problem.t) =
+  let g = p.Dfg.Problem.dfg in
+  let reg_of_var = Hls.Regalloc.allocate g in
+  let* module_of_op = Hls.Binder.bind p in
+  Datapath.Netlist.make p ~reg_of_var ~module_of_op
+
+(* Keep the two roles on disjoint registers: an SR prefers a register
+   already signing elsewhere (sharing SRs across sessions), never one used
+   as a TPG; symmetrically for TPGs. *)
+let preference =
+  {
+    Common.name = "ADVAN";
+    sr_score =
+      (fun roles ~session ~r ->
+        ignore session;
+        (if Common.is_tpg roles r then 1000 else 0)
+        + (if Common.is_sr roles r then 0 else 10));
+    tpg_score =
+      (fun roles ~session ~r ->
+        ignore session;
+        (if Common.is_sr roles r then 1000 else 0)
+        + (if Common.is_tpg roles r then 0 else 10));
+  }
+
+let synthesize p ~k =
+  let* d = netlist p in
+  Common.plan preference d ~k

@@ -1,0 +1,12 @@
+(** ADVAN — re-implementation of the authors' earlier test-session-oriented
+    method [Kim, Takahashi, Ha, ITC'98] (reference [6] of the paper).
+
+    Flavour: system synthesis by left-edge allocation and first-fit binding;
+    signature registers are allocated first and shared across sub-test
+    sessions; BILBO/CBILBO reconfigurations are avoided (the published
+    method's designs use only TPGs and SRs — the B and C columns of Table 3
+    are 0 for ADVAN), so a register already generating patterns is kept away
+    from signature duty and vice versa. *)
+
+val netlist : Dfg.Problem.t -> (Datapath.Netlist.t, string) result
+val synthesize : Dfg.Problem.t -> k:int -> (Bist.Plan.t, string) result

@@ -1,0 +1,59 @@
+let ( let* ) r f = Result.bind r f
+
+(* Interval packing ordered by decreasing lifetime length (then birth):
+   still optimal in register count for interval graphs only when sorted by
+   birth, so first-fit here may occasionally open an extra register — as
+   BITS does on dct4 in the paper's Table 3. *)
+let allocate g =
+  let lt = Dfg.Lifetime.compute g in
+  let nv = Dfg.Graph.n_vars g in
+  let order =
+    List.sort
+      (fun v w ->
+        let bv, dv = Dfg.Lifetime.interval lt v in
+        let bw, dw = Dfg.Lifetime.interval lt w in
+        match compare (dw - bw) (dv - bv) with
+        | 0 -> compare bv bw
+        | c -> c)
+      (List.init nv Fun.id)
+  in
+  let reg_of_var = Array.make nv (-1) in
+  List.iter
+    (fun v ->
+      let rec fit r =
+        let clash =
+          List.exists
+            (fun w ->
+              reg_of_var.(w) = r && not (Dfg.Lifetime.compatible lt v w))
+            (List.init nv Fun.id)
+        in
+        if clash then fit (r + 1) else r
+      in
+      reg_of_var.(v) <- fit 0)
+    order;
+  reg_of_var
+
+let netlist (p : Dfg.Problem.t) =
+  let g = p.Dfg.Problem.dfg in
+  let reg_of_var = allocate g in
+  let* module_of_op = Hls.Binder.bind p in
+  Datapath.Netlist.make p ~reg_of_var ~module_of_op
+
+(* Share test registers maximally: any register that already has a role is
+   preferred, concurrent duty (CBILBO) tolerated at a small premium. *)
+let preference =
+  {
+    Common.name = "BITS";
+    sr_score =
+      (fun roles ~session ~r ->
+        (if Common.is_tpg roles r || Common.is_sr roles r then 0 else 10)
+        + (if roles.Common.tpg_sessions.(r).(session) then 2 else 0));
+    tpg_score =
+      (fun roles ~session ~r ->
+        (if Common.is_tpg roles r || Common.is_sr roles r then 0 else 10)
+        + (if roles.Common.sr_sessions.(r).(session) then 2 else 0));
+  }
+
+let synthesize p ~k =
+  let* d = netlist p in
+  Common.plan preference d ~k

@@ -1,0 +1,13 @@
+(** BITS — re-implementation of Parulkar, Gupta and Breuer's low-BIST-area
+    allocation [DAC'95] (reference [4] of the paper).
+
+    Flavour: maximize the {e sharing} of test registers — the fewest
+    distinct registers carry test roles, even at the price of an occasional
+    concurrent BILBO (the C column of Table 3 is 1 for BITS on paulin, fir6
+    and dct4).  System synthesis uses a widest-lifetime-first packing whose
+    tie-breaking differs from the left-edge order, giving the slightly
+    different interconnect the paper observes. *)
+
+val allocate : Dfg.Graph.t -> int array
+val netlist : Dfg.Problem.t -> (Datapath.Netlist.t, string) result
+val synthesize : Dfg.Problem.t -> k:int -> (Bist.Plan.t, string) result

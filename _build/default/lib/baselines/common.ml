@@ -1,0 +1,119 @@
+type roles = {
+  tpg_sessions : bool array array;
+  sr_sessions : bool array array;
+}
+
+type preference = {
+  name : string;
+  sr_score : roles -> session:int -> r:int -> int;
+  tpg_score : roles -> session:int -> r:int -> int;
+}
+
+let is_tpg roles r = Array.exists Fun.id roles.tpg_sessions.(r)
+let is_sr roles r = Array.exists Fun.id roles.sr_sessions.(r)
+
+let plan pref (d : Datapath.Netlist.t) ~k =
+  let p = d.Datapath.Netlist.problem in
+  let n_mod = Dfg.Problem.n_modules p in
+  let n_regs = d.Datapath.Netlist.n_registers in
+  if k < 1 then Error "k must be >= 1"
+  else begin
+    let session_of_module = Array.init n_mod (fun m -> m mod k) in
+    let const_only = Datapath.Netlist.constant_only_ports d in
+    let writers m =
+      List.filter_map
+        (fun (m', r) -> if m' = m then Some r else None)
+        d.Datapath.Netlist.module_to_reg
+    in
+    let feeders m l =
+      List.filter_map
+        (fun (r, m', l') -> if m' = m && l' = l then Some r else None)
+        d.Datapath.Netlist.reg_to_port
+    in
+    let roles =
+      {
+        tpg_sessions = Array.make_matrix n_regs k false;
+        sr_sessions = Array.make_matrix n_regs k false;
+      }
+    in
+    let sr_of_module = Array.make n_mod (-1) in
+    let tpg_of_port =
+      Array.init n_mod (fun m ->
+          Array.make (Dfg.Fu_kind.n_ports p.Dfg.Problem.modules.(m)) (-1))
+    in
+    let sr_taken = Array.make_matrix n_regs k false in
+    (* DFS over modules; within a module, over SR then ports. *)
+    let rec place_module m =
+      if m >= n_mod then true
+      else begin
+        let s = session_of_module.(m) in
+        let srs =
+          List.sort
+            (fun r1 r2 ->
+              compare (pref.sr_score roles ~session:s ~r:r1)
+                (pref.sr_score roles ~session:s ~r:r2))
+            (writers m)
+        in
+        let rec try_srs = function
+          | [] -> false
+          | r :: rest ->
+              if sr_taken.(r).(s) then try_srs rest
+              else begin
+                sr_of_module.(m) <- r;
+                sr_taken.(r).(s) <- true;
+                let old = roles.sr_sessions.(r).(s) in
+                roles.sr_sessions.(r).(s) <- true;
+                if place_ports m 0 then true
+                else begin
+                  roles.sr_sessions.(r).(s) <- old;
+                  sr_taken.(r).(s) <- false;
+                  sr_of_module.(m) <- -1;
+                  try_srs rest
+                end
+              end
+        in
+        try_srs srs
+      end
+    and place_ports m l =
+      let n_ports = Dfg.Fu_kind.n_ports p.Dfg.Problem.modules.(m) in
+      if l >= n_ports then place_module (m + 1)
+      else if List.mem (m, l) const_only then begin
+        tpg_of_port.(m).(l) <- -1;
+        place_ports m (l + 1)
+      end
+      else begin
+        let s = session_of_module.(m) in
+        let cands =
+          List.sort
+            (fun r1 r2 ->
+              compare (pref.tpg_score roles ~session:s ~r:r1)
+                (pref.tpg_score roles ~session:s ~r:r2))
+            (feeders m l)
+        in
+        let rec try_tpgs = function
+          | [] -> false
+          | r :: rest ->
+              (* Eq. 13: distinct TPGs on the two ports of one module *)
+              if l = 1 && tpg_of_port.(m).(0) = r then try_tpgs rest
+              else begin
+                tpg_of_port.(m).(l) <- r;
+                let old = roles.tpg_sessions.(r).(s) in
+                roles.tpg_sessions.(r).(s) <- true;
+                if place_ports m (l + 1) then true
+                else begin
+                  roles.tpg_sessions.(r).(s) <- old;
+                  tpg_of_port.(m).(l) <- -1;
+                  try_tpgs rest
+                end
+              end
+        in
+        try_tpgs cands
+      end
+    in
+    if place_module 0 then
+      Bist.Plan.make d ~k ~session_of_module ~sr_of_module ~tpg_of_port
+    else
+      Error
+        (Printf.sprintf "%s: no feasible %d-session test-register assignment"
+           pref.name k)
+  end

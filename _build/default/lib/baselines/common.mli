@@ -1,0 +1,31 @@
+(** Shared machinery for the three prior-work baselines.
+
+    Each baseline produces a data path with its own allocation flavour, then
+    assigns test registers with a greedy, preference-ordered backtracking
+    planner: modules are processed in index order (sessions round-robin,
+    matching the test-session-oriented style of the era's heuristics), and
+    for each module the SR and TPG candidates are tried cheapest-first
+    according to the baseline's {!preference}.  The first complete valid
+    plan wins — deterministic, fast, and never globally optimal, which is
+    exactly the role the baselines play in the paper's Table 3. *)
+
+type roles = {
+  tpg_sessions : bool array array;  (** [r].[p] — register is a TPG in p *)
+  sr_sessions : bool array array;  (** [r].[p] — register is an SR in p *)
+}
+
+type preference = {
+  name : string;
+  sr_score : roles -> session:int -> r:int -> int;
+      (** lower = preferred; scores may inspect current roles *)
+  tpg_score : roles -> session:int -> r:int -> int;
+}
+
+val plan :
+  preference -> Datapath.Netlist.t -> k:int -> (Bist.Plan.t, string) result
+(** Greedy preference-ordered backtracking over SR/TPG choices; modules are
+    placed in sessions round-robin ([m mod k]). *)
+
+val is_tpg : roles -> int -> bool
+val is_sr : roles -> int -> bool
+(** Whether a register already holds the role in any session. *)

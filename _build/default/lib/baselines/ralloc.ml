@@ -1,0 +1,68 @@
+let ( let* ) r f = Result.bind r f
+
+let allocate g =
+  let lt = Dfg.Lifetime.compute g in
+  let nv = Dfg.Graph.n_vars g in
+  (* augmented conflicts: lifetime overlap, or input/output of one op *)
+  let extra = Hashtbl.create 64 in
+  Array.iter
+    (fun (op : Dfg.Graph.operation) ->
+      Array.iter
+        (function
+          | Dfg.Graph.Var v ->
+              Hashtbl.replace extra (v, op.Dfg.Graph.output) ();
+              Hashtbl.replace extra (op.Dfg.Graph.output, v) ()
+          | Dfg.Graph.Const _ -> ())
+        op.Dfg.Graph.inputs)
+    g.Dfg.Graph.operations;
+  let conflict v w =
+    (not (Dfg.Lifetime.compatible lt v w)) || Hashtbl.mem extra (v, w)
+  in
+  let order =
+    List.sort
+      (fun v w ->
+        compare (fst (Dfg.Lifetime.interval lt v))
+          (fst (Dfg.Lifetime.interval lt w)))
+      (List.init nv Fun.id)
+  in
+  let reg_of_var = Array.make nv (-1) in
+  List.iter
+    (fun v ->
+      let rec fit r =
+        let clash =
+          List.exists
+            (fun w -> reg_of_var.(w) = r && conflict v w)
+            (List.init nv Fun.id)
+        in
+        if clash then fit (r + 1) else r
+      in
+      reg_of_var.(v) <- fit 0)
+    order;
+  reg_of_var
+
+let netlist (p : Dfg.Problem.t) =
+  let g = p.Dfg.Problem.dfg in
+  let reg_of_var = allocate g in
+  let* module_of_op = Hls.Binder.bind p in
+  Datapath.Netlist.make p ~reg_of_var ~module_of_op
+
+(* Concentrate both roles in few registers: BILBOs are the goal, concurrent
+   (same-session) duty is still avoided. *)
+let preference =
+  {
+    Common.name = "RALLOC";
+    sr_score =
+      (fun roles ~session ~r ->
+        (if roles.Common.tpg_sessions.(r).(session) then 1000 else 0)
+        + (if Common.is_tpg roles r then 0 else 5)
+        + (if Common.is_sr roles r then 0 else 3));
+    tpg_score =
+      (fun roles ~session ~r ->
+        (if roles.Common.sr_sessions.(r).(session) then 1000 else 0)
+        + (if Common.is_sr roles r then 0 else 5)
+        + (if Common.is_tpg roles r then 0 else 3));
+  }
+
+let synthesize p ~k =
+  let* d = netlist p in
+  Common.plan preference d ~k

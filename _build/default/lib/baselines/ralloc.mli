@@ -1,0 +1,17 @@
+(** RALLOC — re-implementation of Avra's allocation for self-testable data
+    paths [ITC'91] (reference [3] of the paper).
+
+    Flavour: the register conflict graph is augmented with edges between
+    each operation's input variables and its output variable, so no
+    register ever both feeds and receives one module (no self-adjacency —
+    the situation that would demand a CBILBO).  Colouring the augmented
+    graph may need {e more} than the minimal register count: the paper's
+    Table 3 shows RALLOC adding one register on fir6, iir3 and wavelet6.
+    Test registers then concentrate the two roles into few BILBOs. *)
+
+val allocate : Dfg.Graph.t -> int array
+(** Self-adjacency-avoiding colouring (first-fit on the augmented conflict
+    graph). *)
+
+val netlist : Dfg.Problem.t -> (Datapath.Netlist.t, string) result
+val synthesize : Dfg.Problem.t -> k:int -> (Bist.Plan.t, string) result

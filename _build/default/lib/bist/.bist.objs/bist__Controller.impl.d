@@ -1,0 +1,1 @@
+lib/bist/controller.ml: Array Buffer Datapath List Plan Printf

@@ -1,0 +1,1 @@
+lib/bist/diagnosis.ml: Fault_sim Gates Hashtbl Lfsr List

@@ -1,0 +1,1 @@
+lib/bist/fault_sim.ml: Array Fun Gates Hashtbl Lfsr List Sys

@@ -1,0 +1,1 @@
+lib/bist/gates.ml: Array Dfg List

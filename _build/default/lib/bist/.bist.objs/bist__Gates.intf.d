@@ -1,0 +1,1 @@
+lib/bist/gates.mli: Dfg

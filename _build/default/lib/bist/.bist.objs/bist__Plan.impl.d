@@ -1,0 +1,1 @@
+lib/bist/plan.ml: Array Datapath Dfg Format Fun Hashtbl List Printf String

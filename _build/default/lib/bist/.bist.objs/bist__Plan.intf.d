@@ -1,0 +1,1 @@
+lib/bist/plan.mli: Datapath Format

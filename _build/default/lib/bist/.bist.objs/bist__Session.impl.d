@@ -1,0 +1,1 @@
+lib/bist/session.ml: Array Datapath Dfg Fault_sim Gates Lfsr List Plan

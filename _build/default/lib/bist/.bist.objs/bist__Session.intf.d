@@ -1,0 +1,1 @@
+lib/bist/session.mli: Dfg Fault_sim Plan

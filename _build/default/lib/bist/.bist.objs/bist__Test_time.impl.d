@@ -1,0 +1,1 @@
+lib/bist/test_time.ml: Array Hashtbl List Plan

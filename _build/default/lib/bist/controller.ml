@@ -1,0 +1,125 @@
+type mode = Normal | Pattern | Signature | Both
+
+type step = {
+  session : int;
+  modes : mode array;
+  n_patterns : int;
+  constant_generators : (int * int) list;
+}
+
+let mode_name = function
+  | Normal -> "normal"
+  | Pattern -> "TPG"
+  | Signature -> "MISR"
+  | Both -> "both"
+
+let schedule ?(n_patterns = 255) (plan : Plan.t) =
+  let n_regs = plan.Plan.netlist.Datapath.Netlist.n_registers in
+  let steps = ref [] in
+  for s = plan.Plan.k - 1 downto 0 do
+    let modules = Plan.modules_in_session plan s in
+    if modules <> [] then begin
+      let modes = Array.make n_regs Normal in
+      let consts = ref [] in
+      List.iter
+        (fun m ->
+          let sr = plan.Plan.sr_of_module.(m) in
+          modes.(sr) <-
+            (match modes.(sr) with
+            | Normal | Signature -> Signature
+            | Pattern | Both -> Both);
+          Array.iteri
+            (fun l r ->
+              if r < 0 then consts := (m, l) :: !consts
+              else
+                modes.(r) <-
+                  (match modes.(r) with
+                  | Normal | Pattern -> Pattern
+                  | Signature | Both -> Both))
+            plan.Plan.tpg_of_port.(m))
+        modules;
+      steps :=
+        { session = s; modes; n_patterns; constant_generators = List.rev !consts }
+        :: !steps
+    end
+  done;
+  !steps
+
+let summary ?n_patterns (plan : Plan.t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun step ->
+      Buffer.add_string buf (Printf.sprintf "session %d (%d patterns):"
+                               step.session step.n_patterns);
+      Array.iteri
+        (fun r mode ->
+          if mode <> Normal then
+            Buffer.add_string buf (Printf.sprintf " R%d=%s" r (mode_name mode)))
+        step.modes;
+      List.iter
+        (fun (m, l) ->
+          Buffer.add_string buf (Printf.sprintf " M%d.%d=const-TPG" m l))
+        step.constant_generators;
+      Buffer.add_char buf '\n')
+    (schedule ?n_patterns plan);
+  Buffer.contents buf
+
+let mode_bits = function
+  | Normal -> "2'b11"
+  | Pattern -> "2'b00"
+  | Signature -> "2'b10"
+  | Both -> "2'b01"
+
+let to_verilog ?(n_patterns = 255) ?(name = "bist_controller") (plan : Plan.t) =
+  let steps = schedule ~n_patterns plan in
+  let n_regs = plan.Plan.netlist.Datapath.Netlist.n_registers in
+  let n_steps = List.length steps in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let cnt_bits =
+    let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+    bits (n_patterns + 1)
+  in
+  let step_bits =
+    let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+    bits (max 2 (n_steps + 1))
+  in
+  add "// BIST controller for a %d-session test plan\n" plan.Plan.k;
+  add "module %s (\n  input clk,\n  input rst,\n  input start" name;
+  for r = 0 to n_regs - 1 do
+    add ",\n  output reg [1:0] mode_r%d" r
+  done;
+  add ",\n  output reg [%d:0] test_session,\n  output reg done_o\n);\n\n"
+    (step_bits - 1);
+  add "  reg [%d:0] pattern_cnt;\n" (cnt_bits - 1);
+  add "  reg running;\n\n";
+  add "  always @(posedge clk) begin\n";
+  add "    if (rst) begin\n";
+  add "      running <= 0; done_o <= 0; test_session <= 0; pattern_cnt <= 0;\n";
+  add "    end else if (start && !running && !done_o) begin\n";
+  add "      running <= 1; test_session <= 0; pattern_cnt <= 0;\n";
+  add "    end else if (running) begin\n";
+  add "      if (pattern_cnt == %d) begin\n" n_patterns;
+  add "        pattern_cnt <= 0;\n";
+  add "        if (test_session == %d) begin running <= 0; done_o <= 1; end\n"
+    (n_steps - 1);
+  add "        else test_session <= test_session + 1;\n";
+  add "      end else pattern_cnt <= pattern_cnt + 1;\n";
+  add "    end\n  end\n\n";
+  add "  always @* begin\n";
+  for r = 0 to n_regs - 1 do
+    add "    mode_r%d = 2'b11;\n" r
+  done;
+  add "    if (running) begin\n      case (test_session)\n";
+  List.iteri
+    (fun i step ->
+      add "        %d'd%d: begin\n" step_bits i;
+      Array.iteri
+        (fun r mode ->
+          if mode <> Normal then
+            add "          mode_r%d = %s;\n" r (mode_bits mode))
+        step.modes;
+      add "        end\n")
+    steps;
+  add "        default: ;\n      endcase\n    end\n  end\n\nendmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** BIST test-controller generation.
+
+    A synthesized plan needs on-chip control to run: per-register mode
+    lines selecting normal / TPG / MISR / both behaviour per sub-test
+    session, a pattern counter, and a session sequencer.  This module
+    derives that controller:
+
+    - {!schedule} — the per-session mode of every register (the microcode);
+    - {!to_verilog} — a synthesizable-style Verilog controller module
+      (session FSM, pattern counter, mode outputs, done flag);
+    - {!summary} — a human-readable test program listing.
+
+    The mode encoding follows the classic BILBO control conventions [11]:
+    [Normal] (B1 B2 = 11), [Pattern] (00 with the scan input tied low),
+    [Signature] (10), [Both] for a CBILBO's concurrent operation. *)
+
+type mode = Normal | Pattern | Signature | Both
+
+type step = {
+  session : int;
+  modes : mode array;  (** per register *)
+  n_patterns : int;
+  constant_generators : (int * int) list;  (** (module, port) §3.3.4 ports *)
+}
+
+val schedule : ?n_patterns:int -> Plan.t -> step list
+(** One step per used sub-test session, in session order.
+    [n_patterns] defaults to 255. *)
+
+val mode_name : mode -> string
+
+val summary : ?n_patterns:int -> Plan.t -> string
+(** Test program listing, one line per session. *)
+
+val to_verilog : ?n_patterns:int -> ?name:string -> Plan.t -> string
+(** Controller module: inputs [clk], [rst], [start]; outputs one 2-bit mode
+    per register, [test_session] index, [done_o]. *)

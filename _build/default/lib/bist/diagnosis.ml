@@ -1,0 +1,72 @@
+type t = {
+  golden_sig : int;
+  by_signature : (int, Fault_sim.fault list) Hashtbl.t;
+  total : int;
+}
+
+let run_session circuit ~fault ~seed_a ~seed_b ~misr_seed ~n_patterns =
+  let width = circuit.Gates.width in
+  let gen_a = Lfsr.create ~seed:seed_a ~width () in
+  let gen_b = Lfsr.create ~seed:seed_b ~width () in
+  let misr = Lfsr.create ~seed:misr_seed ~width () in
+  for _ = 1 to n_patterns do
+    let a = Lfsr.step gen_a and b = Lfsr.step gen_b in
+    let response =
+      match fault with
+      | None -> Gates.eval circuit ~a ~b
+      | Some f -> Fault_sim.eval_faulty circuit ~a ~b f
+    in
+    Lfsr.misr_absorb misr response
+  done;
+  Lfsr.signature misr
+
+let build circuit ~seed_a ~seed_b ~misr_seed ~n_patterns =
+  let golden_sig =
+    run_session circuit ~fault:None ~seed_a ~seed_b ~misr_seed ~n_patterns
+  in
+  let by_signature = Hashtbl.create 256 in
+  let faults = Fault_sim.faults circuit in
+  List.iter
+    (fun f ->
+      let s =
+        run_session circuit ~fault:(Some f) ~seed_a ~seed_b ~misr_seed
+          ~n_patterns
+      in
+      Hashtbl.replace by_signature s
+        (f
+        :: (match Hashtbl.find_opt by_signature s with
+           | Some l -> l
+           | None -> [])))
+    faults;
+  { golden_sig; by_signature; total = List.length faults }
+
+let golden d = d.golden_sig
+let n_faults d = d.total
+
+let lookup d signature =
+  match Hashtbl.find_opt d.by_signature signature with
+  | Some l -> List.rev l
+  | None -> []
+
+let detected_faults d =
+  Hashtbl.fold
+    (fun s faults acc -> if s = d.golden_sig then acc else faults @ acc)
+    d.by_signature []
+
+let ambiguity d =
+  let classes = ref 0 and members = ref 0 in
+  Hashtbl.iter
+    (fun s faults ->
+      if s <> d.golden_sig then begin
+        incr classes;
+        members := !members + List.length faults
+      end)
+    d.by_signature;
+  if !classes = 0 then 0.0 else float_of_int !members /. float_of_int !classes
+
+let diagnose d circuit fault ~seed_a ~seed_b ~misr_seed ~n_patterns =
+  let s =
+    run_session circuit ~fault:(Some fault) ~seed_a ~seed_b ~misr_seed
+      ~n_patterns
+  in
+  lookup d s

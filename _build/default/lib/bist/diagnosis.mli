@@ -1,0 +1,43 @@
+(** Signature-based fault diagnosis.
+
+    Signature analysis compacts a whole test session into one word, so a
+    failing signature identifies {e that} the module is faulty but not
+    {e where}.  The classic remedy is a fault dictionary: pre-compute the
+    signature every modelled stuck-at fault would produce and look the
+    observed signature up.  Faults producing the fault-free signature are
+    aliased/undetected; several faults may share one faulty signature
+    (an equivalence class for this pattern set).
+
+    Dictionaries here are per (module circuit, TPG seeds, pattern count) —
+    the same session configuration {!Session} runs. *)
+
+type t
+
+val build :
+  Gates.t -> seed_a:int -> seed_b:int -> misr_seed:int -> n_patterns:int -> t
+(** Simulates every stuck-at fault of the circuit through the session
+    configuration and records its signature. *)
+
+val golden : t -> int
+(** The fault-free signature. *)
+
+val n_faults : t -> int
+
+val detected_faults : t -> Fault_sim.fault list
+(** Faults whose signature differs from {!golden}. *)
+
+val lookup : t -> int -> Fault_sim.fault list
+(** [lookup dict signature] — candidate faults for an observed signature.
+    Empty for an unknown signature (fault outside the single-stuck-at
+    model); looking up {!golden} returns the aliased/undetected faults. *)
+
+val ambiguity : t -> float
+(** Mean candidate-class size over detected faults: 1.0 = perfect
+    diagnosability with this pattern set. *)
+
+val diagnose :
+  t -> Gates.t -> Fault_sim.fault -> seed_a:int -> seed_b:int ->
+  misr_seed:int -> n_patterns:int -> Fault_sim.fault list
+(** End-to-end: run the faulty session, look its signature up.  The true
+    fault is always in the returned class (or the class is the aliased set
+    when the fault escapes detection). *)

@@ -1,0 +1,119 @@
+type fault = { gate : int; stuck_at : int }
+
+let faults (c : Gates.t) =
+  List.concat_map
+    (fun g -> [ { gate = g; stuck_at = 0 }; { gate = g; stuck_at = 1 } ])
+    (List.init (Gates.n_gates c) Fun.id)
+
+type result = {
+  n_faults : int;
+  n_detected : int;
+  undetected : fault list;
+}
+
+let coverage r =
+  if r.n_faults = 0 then 100.0
+  else 100.0 *. float_of_int r.n_detected /. float_of_int r.n_faults
+
+(* Evaluate with an optional fault override on one gate. *)
+let eval_with_fault (c : Gates.t) inputs fault =
+  let values = Array.make (Gates.n_gates c) 0 in
+  Array.iteri
+    (fun i g ->
+      let v =
+        match g with
+        | Gates.G_and (x, y) -> values.(x) land values.(y)
+        | Gates.G_or (x, y) -> values.(x) lor values.(y)
+        | Gates.G_xor (x, y) -> values.(x) lxor values.(y)
+        | Gates.G_not x -> lnot values.(x)
+        | Gates.G_input j -> inputs.(j)
+        | Gates.G_const0 -> 0
+        | Gates.G_const1 -> -1
+      in
+      values.(i) <-
+        (match fault with
+        | Some { gate; stuck_at } when gate = i ->
+            if stuck_at = 0 then 0 else -1
+        | Some _ | None -> v))
+    c.Gates.gates;
+  Array.map (fun o -> values.(o)) c.Gates.outputs
+
+let word_bits = Sys.int_size - 1
+
+let pack_patterns (c : Gates.t) chunk =
+  (* chunk: up to word_bits (a, b) pairs; build input words *)
+  let inputs = Array.make c.Gates.n_inputs 0 in
+  List.iteri
+    (fun j (a, b) ->
+      for i = 0 to c.Gates.width - 1 do
+        if (a lsr i) land 1 = 1 then inputs.(i) <- inputs.(i) lor (1 lsl j);
+        if (b lsr i) land 1 = 1 then
+          inputs.(c.Gates.width + i) <-
+            inputs.(c.Gates.width + i) lor (1 lsl j)
+      done)
+    chunk;
+  inputs
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | [] -> (List.rev acc, [])
+        | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let c, rest = take n [] l in
+      c :: chunks n rest
+
+let simulate (c : Gates.t) ~patterns =
+  let all = faults c in
+  let detected = Hashtbl.create 1024 in
+  List.iter
+    (fun chunk ->
+      let inputs = pack_patterns c chunk in
+      let mask =
+        (* only the bits corresponding to real patterns in this chunk *)
+        if List.length chunk >= word_bits then -1
+        else (1 lsl List.length chunk) - 1
+      in
+      let good = eval_with_fault c inputs None in
+      List.iter
+        (fun f ->
+          if not (Hashtbl.mem detected f) then begin
+            let bad = eval_with_fault c inputs (Some f) in
+            let differs = ref false in
+            Array.iteri
+              (fun i w -> if (w lxor good.(i)) land mask <> 0 then differs := true)
+              bad;
+            if !differs then Hashtbl.replace detected f ()
+          end)
+        all)
+    (chunks word_bits patterns);
+  let undetected = List.filter (fun f -> not (Hashtbl.mem detected f)) all in
+  {
+    n_faults = List.length all;
+    n_detected = Hashtbl.length detected;
+    undetected;
+  }
+
+let eval_faulty (c : Gates.t) ~a ~b fault =
+  let inputs =
+    Array.init c.Gates.n_inputs (fun i ->
+        let bit =
+          if i < c.Gates.width then (a lsr i) land 1
+          else (b lsr (i - c.Gates.width)) land 1
+        in
+        if bit = 1 then -1 else 0)
+  in
+  let outs = eval_with_fault c inputs (Some fault) in
+  let r = ref 0 in
+  Array.iteri (fun i w -> if w land 1 = 1 then r := !r lor (1 lsl i)) outs;
+  !r
+
+let random_pattern_coverage (c : Gates.t) ?(seed = 1) ~n_patterns () =
+  let ga = Lfsr.create ~seed ~width:c.Gates.width () in
+  let gb = Lfsr.create ~seed:(seed + 41) ~width:c.Gates.width () in
+  let patterns =
+    List.init n_patterns (fun _ -> (Lfsr.step ga, Lfsr.step gb))
+  in
+  simulate c ~patterns

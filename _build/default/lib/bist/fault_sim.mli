@@ -1,0 +1,36 @@
+(** Single-stuck-at fault simulation over gate-level module models.
+
+    The parallel BIST architecture relies on random patterns detecting the
+    module's faults; this simulator measures that coverage.  Faults are
+    stuck-at-0/1 on every gate output (input faults on fan-out-free gates
+    are equivalent and therefore not enumerated separately).  Simulation is
+    word-parallel: [Sys.int_size - 1] patterns per pass. *)
+
+type fault = { gate : int; stuck_at : int (* 0 or 1 *) }
+
+val faults : Gates.t -> fault list
+(** The collapsed fault list: two faults per gate (inputs and constants
+    included — a stuck constant models a defective tie cell). *)
+
+type result = {
+  n_faults : int;
+  n_detected : int;
+  undetected : fault list;
+}
+
+val coverage : result -> float
+(** Detected fraction in percent. *)
+
+val simulate : Gates.t -> patterns:(int * int) list -> result
+(** [simulate c ~patterns] applies the given (a, b) operand pairs and
+    reports which stuck-at faults produce an output difference on at least
+    one pattern. *)
+
+val eval_faulty : Gates.t -> a:int -> b:int -> fault -> int
+(** Numeric result of the module under the fault for one operand pair. *)
+
+val random_pattern_coverage :
+  Gates.t -> ?seed:int -> n_patterns:int -> unit -> result
+(** Patterns drawn from two independent LFSRs of the module's width —
+    exactly what a pair of TPG registers feeds the module during a test
+    session. *)

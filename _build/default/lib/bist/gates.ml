@@ -1,0 +1,175 @@
+type gate =
+  | G_and of int * int
+  | G_or of int * int
+  | G_xor of int * int
+  | G_not of int
+  | G_input of int
+  | G_const0
+  | G_const1
+
+type t = {
+  width : int;
+  n_inputs : int;
+  gates : gate array;
+  outputs : int array;
+}
+
+(* Netlist builder: gates are appended, index = id. *)
+module B = struct
+  type b = { mutable gs : gate list; mutable n : int }
+
+  let create () = { gs = []; n = 0 }
+
+  let push b g =
+    b.gs <- g :: b.gs;
+    b.n <- b.n + 1;
+    b.n - 1
+
+  let input b i = push b (G_input i)
+  let const0 b = push b G_const0
+  let const1 b = push b G_const1
+  let g_and b x y = push b (G_and (x, y))
+  let g_or b x y = push b (G_or (x, y))
+  let g_xor b x y = push b (G_xor (x, y))
+  let g_not b x = push b (G_not x)
+
+  (* full adder: returns (sum, carry) *)
+  let full_adder b x y c =
+    let xy = g_xor b x y in
+    let s = g_xor b xy c in
+    let a1 = g_and b x y in
+    let a2 = g_and b c xy in
+    let cout = g_or b a1 a2 in
+    (s, cout)
+
+  (* 2:1 mux built from gates: sel ? x1 : x0 *)
+  let mux b sel x0 x1 =
+    let ns = g_not b sel in
+    let t0 = g_and b ns x0 in
+    let t1 = g_and b sel x1 in
+    g_or b t0 t1
+
+  let finish b width outputs =
+    {
+      width;
+      n_inputs = 2 * width;
+      gates = Array.of_list (List.rev b.gs);
+      outputs = Array.of_list outputs;
+    }
+end
+
+let build kind ~width =
+  let b = B.create () in
+  let a = Array.init width (fun i -> B.input b i) in
+  let bb = Array.init width (fun i -> B.input b (width + i)) in
+  let ripple_sum xs ys ~carry_in =
+    (* returns (sum bits, carry out) *)
+    let c = ref carry_in in
+    let sums =
+      Array.init width (fun i ->
+          let s, cout = B.full_adder b xs.(i) ys.(i) !c in
+          c := cout;
+          s)
+    in
+    (sums, !c)
+  in
+  match kind with
+  | Dfg.Op_kind.Add ->
+      let zero = B.const0 b in
+      let sums, _ = ripple_sum a bb ~carry_in:zero in
+      B.finish b width (Array.to_list sums)
+  | Dfg.Op_kind.Sub ->
+      let one = B.const1 b in
+      let nb = Array.map (fun x -> B.g_not b x) bb in
+      let sums, _ = ripple_sum a nb ~carry_in:one in
+      B.finish b width (Array.to_list sums)
+  | Dfg.Op_kind.Lt ->
+      (* a < b  <=>  no carry out of a + ~b + 1 *)
+      let one = B.const1 b in
+      let nb = Array.map (fun x -> B.g_not b x) bb in
+      let _, cout = ripple_sum a nb ~carry_in:one in
+      let lt = B.g_not b cout in
+      let zero = B.const0 b in
+      B.finish b width (lt :: List.init (width - 1) (fun _ -> zero))
+  | Dfg.Op_kind.And ->
+      B.finish b width
+        (List.init width (fun i -> B.g_and b a.(i) bb.(i)))
+  | Dfg.Op_kind.Or ->
+      B.finish b width (List.init width (fun i -> B.g_or b a.(i) bb.(i)))
+  | Dfg.Op_kind.Xor ->
+      B.finish b width (List.init width (fun i -> B.g_xor b a.(i) bb.(i)))
+  | Dfg.Op_kind.Mul ->
+      (* array multiplier, truncated to [width] bits *)
+      let acc = ref (Array.init width (fun _ -> B.const0 b)) in
+      for j = 0 to width - 1 do
+        (* partial product row j, shifted left by j, truncated *)
+        let row =
+          Array.init width (fun i ->
+              if i < j then B.const0 b else B.g_and b a.(i - j) bb.(j))
+        in
+        let zero = B.const0 b in
+        let sums, _ = ripple_sum !acc row ~carry_in:zero in
+        acc := sums
+      done;
+      B.finish b width (Array.to_list !acc)
+  | Dfg.Op_kind.Shl | Dfg.Op_kind.Shr ->
+      (* logarithmic barrel shifter on b's low log2(width) bits *)
+      let stages =
+        let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+        log2 width
+      in
+      let zero = B.const0 b in
+      let cur = ref (Array.copy a) in
+      for s = 0 to stages - 1 do
+        let amount = 1 lsl s in
+        let sel = bb.(s) in
+        let next =
+          Array.init width (fun i ->
+              let shifted =
+                match kind with
+                | Dfg.Op_kind.Shl ->
+                    if i - amount >= 0 then !cur.(i - amount) else zero
+                | Dfg.Op_kind.Shr | Dfg.Op_kind.Add | Dfg.Op_kind.Sub
+                | Dfg.Op_kind.Mul | Dfg.Op_kind.Lt | Dfg.Op_kind.And
+                | Dfg.Op_kind.Or | Dfg.Op_kind.Xor ->
+                    if i + amount < width then !cur.(i + amount) else zero
+              in
+              B.mux b sel !cur.(i) shifted)
+        in
+        cur := next
+      done;
+      B.finish b width (Array.to_list !cur)
+
+let n_gates c = Array.length c.gates
+
+let eval_words c inputs =
+  if Array.length inputs <> c.n_inputs then
+    invalid_arg "Gates.eval_words: wrong input count";
+  let values = Array.make (Array.length c.gates) 0 in
+  Array.iteri
+    (fun i g ->
+      values.(i) <-
+        (match g with
+        | G_and (x, y) -> values.(x) land values.(y)
+        | G_or (x, y) -> values.(x) lor values.(y)
+        | G_xor (x, y) -> values.(x) lxor values.(y)
+        | G_not x -> lnot values.(x)
+        | G_input j -> inputs.(j)
+        | G_const0 -> 0
+        | G_const1 -> -1 (* all ones *)))
+    c.gates;
+  Array.map (fun o -> values.(o)) c.outputs
+
+let eval c ~a ~b =
+  let inputs =
+    Array.init c.n_inputs (fun i ->
+        let bit =
+          if i < c.width then (a lsr i) land 1
+          else (b lsr (i - c.width)) land 1
+        in
+        if bit = 1 then -1 else 0)
+  in
+  let outs = eval_words c inputs in
+  let r = ref 0 in
+  Array.iteri (fun i w -> if w land 1 = 1 then r := !r lor (1 lsl i)) outs;
+  !r

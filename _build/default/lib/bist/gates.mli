@@ -1,0 +1,41 @@
+(** Gate-level structural models of the data-path modules.
+
+    Parallel BIST tests each module (a combinational circuit) with random
+    patterns; assessing how well requires a structural model with faults.
+    This module builds classic gate netlists — ripple-carry adder/subtractor,
+    array multiplier, magnitude comparator, bitwise gates — for any width.
+
+    Evaluation is word-parallel: each signal carries up to [Sys.int_size - 1]
+    pattern bits at once, so fault simulation over many patterns is cheap. *)
+
+type gate =
+  | G_and of int * int
+  | G_or of int * int
+  | G_xor of int * int
+  | G_not of int
+  | G_input of int  (** primary input index: ports A then B, LSB first *)
+  | G_const0
+  | G_const1
+
+type t = private {
+  width : int;
+  n_inputs : int;  (** [2 * width] *)
+  gates : gate array;  (** topological: operands refer to earlier gates *)
+  outputs : int array;  (** gate indices of the output bits, LSB first *)
+}
+
+val build : Dfg.Op_kind.t -> width:int -> t
+(** Structural netlist computing the operation. Comparison outputs a single
+    bit (zero-extended). Shift models are built for constant shift amounts
+    encoded in operand B's low bits via a mux tree. *)
+
+val n_gates : t -> int
+
+val eval_words : t -> int array -> int array
+(** [eval_words c inputs] — bit-parallel evaluation: element [i] of [inputs]
+    is a word whose bit [j] is the value of input [i] in pattern [j].
+    Returns one word per output bit. *)
+
+val eval : t -> a:int -> b:int -> int
+(** Single-pattern convenience: packs operand words, returns the numeric
+    result (must agree with {!Dfg.Op_kind.eval}; the test-suite checks). *)

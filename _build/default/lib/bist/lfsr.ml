@@ -1,0 +1,47 @@
+type t = { w : int; taps : int; mutable st : int }
+
+(* Primitive polynomial tap masks (Fibonacci form, bit 0 = x^1 term
+   position): classic table for widths 2..16. *)
+let tap_mask = function
+  | 2 -> 0b11
+  | 3 -> 0b110
+  | 4 -> 0b1100
+  | 5 -> 0b10100
+  | 6 -> 0b110000
+  | 7 -> 0b1100000
+  | 8 -> 0b10111000
+  | 9 -> 0b100010000
+  | 10 -> 0b1001000000
+  | 11 -> 0b10100000000
+  | 12 -> 0b111000001000
+  | 13 -> 0b1110010000000
+  | 14 -> 0b11100000000010
+  | 15 -> 0b110000000000000
+  | 16 -> 0b1101000000001000
+  | w -> invalid_arg (Printf.sprintf "Lfsr.create: unsupported width %d" w)
+
+let create ?(seed = 1) ~width () =
+  let taps = tap_mask width in
+  let mask = (1 lsl width) - 1 in
+  let st = seed land mask in
+  { w = width; taps; st = (if st = 0 then 1 else st) }
+
+let width t = t.w
+let state t = t.st
+let parity x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc lxor (x land 1)) in
+  go x 0
+
+let step t =
+  let fb = parity (t.st land t.taps) in
+  t.st <- ((t.st lsl 1) lor fb) land ((1 lsl t.w) - 1);
+  t.st
+
+let patterns t n = List.init n (fun _ -> step t)
+let period ~width = (1 lsl width) - 1
+
+let misr_absorb t response =
+  let fb = parity (t.st land t.taps) in
+  t.st <- (((t.st lsl 1) lor fb) lxor response) land ((1 lsl t.w) - 1)
+
+let signature t = t.st

@@ -1,0 +1,35 @@
+(** Linear-feedback shift registers and multiple-input signature registers.
+
+    These are the bit-level behaviours of the TPG and SR register
+    reconfigurations of Section 2.2 [11][12]: a register reconfigured as a
+    TPG runs as a maximal-length LFSR producing pseudo-random patterns; one
+    reconfigured as an SR runs as a MISR compacting the module responses
+    into a signature.  A BILBO provides both modes (alternately); a CBILBO
+    both modes concurrently (hence double the flip-flops). *)
+
+type t
+
+val create : ?seed:int -> width:int -> unit -> t
+(** Fibonacci LFSR over a primitive polynomial for the given width
+    (supported widths: 2-16; the paper's data paths are 8 bits wide).
+    [seed] defaults to 1; a zero seed is replaced by 1 (the all-zero state
+    is a fixed point).
+    @raise Invalid_argument for unsupported widths. *)
+
+val width : t -> int
+val state : t -> int
+
+val step : t -> int
+(** Advances one clock and returns the new state (the next test pattern). *)
+
+val patterns : t -> int -> int list
+(** [patterns t n] — the next [n] patterns. *)
+
+val period : width:int -> int
+(** Sequence period for a maximal-length LFSR: [2^width - 1]. *)
+
+val misr_absorb : t -> int -> unit
+(** One MISR clock: shift with feedback, XOR-ing in the response word. *)
+
+val signature : t -> int
+(** Current MISR contents. *)

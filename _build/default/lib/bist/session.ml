@@ -1,0 +1,62 @@
+type signature = { module_ : int; kind : Dfg.Op_kind.t; value : int }
+
+let width = Datapath.Area.width
+
+let tpg_seed = function
+  | r when r >= 0 -> r + 1
+  | _ -> 31 (* dedicated constant-port generator *)
+
+(* Run one module in one mode, optionally with a fault in its gate model,
+   and return the MISR signature. *)
+let run_module (t : Plan.t) ~module_ ~kind ~fault ~n_patterns =
+  let circuit = Gates.build kind ~width in
+  let tpgs = t.Plan.tpg_of_port.(module_) in
+  let gen_a = Lfsr.create ~seed:(tpg_seed tpgs.(0)) ~width () in
+  let gen_b =
+    Lfsr.create
+      ~seed:(tpg_seed (if Array.length tpgs > 1 then tpgs.(1) else -1))
+      ~width ()
+  in
+  let misr = Lfsr.create ~seed:1 ~width () in
+  for _ = 1 to n_patterns do
+    let a = Lfsr.step gen_a and b = Lfsr.step gen_b in
+    let response =
+      match fault with
+      | None -> Gates.eval circuit ~a ~b
+      | Some f -> Fault_sim.eval_faulty circuit ~a ~b f
+    in
+    Lfsr.misr_absorb misr response
+  done;
+  Lfsr.signature misr
+
+let golden (t : Plan.t) ~n_patterns =
+  let p = t.Plan.netlist.Datapath.Netlist.problem in
+  List.concat
+    (List.init (Dfg.Problem.n_modules p) (fun m ->
+         List.map
+           (fun kind ->
+             {
+               module_ = m;
+               kind;
+               value = run_module t ~module_:m ~kind ~fault:None ~n_patterns;
+             })
+           p.Dfg.Problem.modules.(m).Dfg.Fu_kind.supports))
+
+let detects t ~module_ ~kind fault ~n_patterns =
+  let good = run_module t ~module_ ~kind ~fault:None ~n_patterns in
+  let bad = run_module t ~module_ ~kind ~fault:(Some fault) ~n_patterns in
+  good <> bad
+
+let session_coverage t ~module_ ~kind ~n_patterns =
+  let circuit = Gates.build kind ~width in
+  let all = Fault_sim.faults circuit in
+  let undetected =
+    List.filter
+      (fun f -> not (detects t ~module_ ~kind f ~n_patterns))
+      all
+  in
+  {
+    Fault_sim.n_faults = List.length all;
+    n_detected = List.length all - List.length undetected;
+    undetected;
+  }

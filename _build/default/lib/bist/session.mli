@@ -1,0 +1,33 @@
+(** Executable test sessions: run a BIST plan and collect signatures.
+
+    For every module of a plan, the TPG registers of its input ports run as
+    LFSRs, the module's gate-level model ({!Gates}) computes responses, and
+    the module's signature register runs as a MISR.  A fault-free run yields
+    the golden signatures; runs with an injected stuck-at fault show whether
+    the signature deviates (i.e. whether BIST detects it).
+
+    A module supporting several operation kinds (an ALU) is tested once per
+    supported kind, mirroring how a multi-function unit is exercised in each
+    of its modes. *)
+
+type signature = {
+  module_ : int;
+  kind : Dfg.Op_kind.t;
+  value : int;  (** golden MISR contents after the session *)
+}
+
+val golden : Plan.t -> n_patterns:int -> signature list
+(** Deterministic: TPG register [r] is seeded with [r + 1]; a constant-only
+    port's dedicated generator with [31]; MISRs start at [1]. *)
+
+val detects :
+  Plan.t -> module_:int -> kind:Dfg.Op_kind.t -> Fault_sim.fault ->
+  n_patterns:int -> bool
+(** Whether the session's signature deviates from golden under the fault. *)
+
+val session_coverage :
+  Plan.t -> module_:int -> kind:Dfg.Op_kind.t -> n_patterns:int ->
+  Fault_sim.result
+(** Stuck-at coverage of the module when tested through the plan's actual
+    TPG seeds and pattern count (signature aliasing included: a fault whose
+    output differences cancel in the MISR counts as undetected). *)

@@ -1,0 +1,46 @@
+type t = {
+  sessions_used : int;
+  cycles : int;
+  per_session : (int * int) list;
+}
+
+let estimate ?(n_patterns = 255) (plan : Plan.t) =
+  let per_session = ref [] in
+  for s = plan.Plan.k - 1 downto 0 do
+    let modules = Plan.modules_in_session plan s in
+    if modules <> [] then begin
+      (* registers involved in this session: all TPGs and SRs *)
+      let regs = Hashtbl.create 7 in
+      List.iter
+        (fun m ->
+          Hashtbl.replace regs plan.Plan.sr_of_module.(m) ();
+          Array.iter
+            (fun r -> if r >= 0 then Hashtbl.replace regs r ())
+            plan.Plan.tpg_of_port.(m))
+        modules;
+      let setup = Hashtbl.length regs in
+      let flush = List.length modules (* one signature read-out each *) in
+      per_session := (s, setup + n_patterns + flush) :: !per_session
+    end
+  done;
+  {
+    sessions_used = List.length !per_session;
+    cycles = List.fold_left (fun acc (_, c) -> acc + c) 0 !per_session;
+    per_session = !per_session;
+  }
+
+let pareto candidates =
+  let area (_, plan) = Plan.area plan in
+  let time (_, plan) = (estimate plan).cycles in
+  let dominated c =
+    List.exists
+      (fun c' ->
+        c' != c
+        && area c' <= area c
+        && time c' <= time c
+        && (area c' < area c || time c' < time c))
+      candidates
+  in
+  List.sort
+    (fun a b -> compare (area a) (area b))
+    (List.filter (fun c -> not (dominated c)) candidates)

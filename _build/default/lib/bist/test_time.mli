@@ -1,0 +1,31 @@
+(** Test-application time of a BIST plan.
+
+    The area/test-time trade-off is the reason the paper synthesizes one
+    design per k-test session: modules in the same sub-test session are
+    tested {e concurrently}, so a k-session plan applies its patterns k
+    times in sequence.  Following the parallel-BIST literature (and the
+    authors' earlier test-session-oriented work [6]), the time model is
+
+    {v
+    time(plan) = sum over used sub-test sessions p of
+                   (setup + n_patterns + flush)
+    v}
+
+    where [setup] covers seeding the session's TPGs/MISRs (one cycle per
+    involved register, serially through the scan-configured registers) and
+    [flush] the signature read-out. *)
+
+type t = {
+  sessions_used : int;  (** non-empty sub-test sessions *)
+  cycles : int;  (** total test-application cycles *)
+  per_session : (int * int) list;  (** (session, cycles) for used sessions *)
+}
+
+val estimate : ?n_patterns:int -> Plan.t -> t
+(** [n_patterns] defaults to 255 (the full period of the 8-bit LFSRs). *)
+
+val pareto :
+  (int * Plan.t) list -> (int * Plan.t) list
+(** Given [(k, plan)] candidates, keep the area/test-time Pareto-optimal
+    ones (no other candidate is at least as good on both axes and better on
+    one), sorted by area. *)

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Dfg Hls List Printf

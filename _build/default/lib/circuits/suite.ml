@@ -1,0 +1,43 @@
+let schedule ?minimize_pressure kernel modules =
+  match
+    Hls.Schedule.list_schedule ?minimize_pressure ~inputs_at_start:true kernel
+      ~modules
+  with
+  | Ok p -> p
+  | Error msg ->
+      invalid_arg (Printf.sprintf "Circuits.Suite: %s: %s" kernel.Hls.Kernel.kname msg)
+
+let fir6 =
+  schedule Hls.Kernel.fir6 [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu; Dfg.Fu_kind.alu ]
+
+let iir3 =
+  schedule Hls.Kernel.iir3
+    [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]
+
+let dct4 =
+  schedule Hls.Kernel.dct4
+    [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu;
+      Dfg.Fu_kind.alu ]
+
+let wavelet6 =
+  schedule ~minimize_pressure:true Hls.Kernel.wavelet6
+    [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu; Dfg.Fu_kind.alu ]
+
+(* Scalability stress circuit (not part of the paper's evaluation). *)
+let ewf =
+  schedule ~minimize_pressure:true Hls.Kernel.ewf
+    [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.multiplier; Dfg.Fu_kind.adder;
+      Dfg.Fu_kind.adder ]
+
+let all =
+  [
+    ("tseng", Dfg.Benchmarks.tseng);
+    ("paulin", Dfg.Benchmarks.paulin);
+    ("fir6", fir6);
+    ("iir3", iir3);
+    ("dct4", dct4);
+    ("wavelet6", wavelet6);
+  ]
+
+let extras = [ ("ewf", ewf) ]
+let find name = List.assoc_opt name (all @ extras)

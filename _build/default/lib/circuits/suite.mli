@@ -1,0 +1,38 @@
+(** The six benchmark instances of the paper's evaluation (Section 4.1).
+
+    tseng and paulin are the hand-constructed reconstructions from
+    {!Dfg.Benchmarks}; fir6, iir3, dct4 and wavelet6 are produced by the
+    {!Hls} scheduler (the HYPER substitute), with module allocations chosen
+    to match the paper's module counts and, as closely as the reconstruction
+    allows, its register counts:
+
+    {v
+    circuit    paper R/M    this repo R/M
+    tseng        5 / 3          5 / 3
+    paulin       5 / 4          5 / 4
+    fir6         7 / 3          7 / 3
+    iir3         6 / 3          6 / 3
+    dct4         6 / 4          6 / 4
+    wavelet6     7 / 3          8 / 3
+    v}
+
+    The DSP circuits use the [inputs_at_start] lifetime convention (filter
+    state is held in registers from cycle 0). *)
+
+val fir6 : Dfg.Problem.t
+val iir3 : Dfg.Problem.t
+val dct4 : Dfg.Problem.t
+val wavelet6 : Dfg.Problem.t
+
+val all : (string * Dfg.Problem.t) list
+(** The six circuits in the paper's Table 2/3 order:
+    tseng, paulin, fir6, iir3, dct4, wavelet6. *)
+
+val ewf : Dfg.Problem.t
+(** Fifth-order elliptic wave filter (34 operations) — a scalability stress
+    circuit beyond the paper's evaluation. *)
+
+val extras : (string * Dfg.Problem.t) list
+
+val find : string -> Dfg.Problem.t option
+(** Lookup by name, in {!all} then {!extras}. *)

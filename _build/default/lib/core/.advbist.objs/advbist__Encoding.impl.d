@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Array Bist Datapath Dfg Format Fun Hashtbl Ilp List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/enum_engine.ml: Array Bist Datapath Dfg Fun List Session_opt

@@ -1,0 +1,1 @@
+lib/core/enum_engine.mli: Bist Dfg

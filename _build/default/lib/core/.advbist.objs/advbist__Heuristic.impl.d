@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Datapath Dfg Hls Result Session_opt

@@ -1,0 +1,1 @@
+lib/core/report.ml: Bist Datapath List Printf String Synth

@@ -1,0 +1,1 @@
+lib/core/session_opt.ml: Array Bist Datapath Dfg Format Fun Hashtbl Ilp List Option Printf Result

@@ -1,0 +1,1 @@
+lib/core/session_opt.mli: Bist Datapath

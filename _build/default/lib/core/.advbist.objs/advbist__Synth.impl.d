@@ -1,0 +1,1 @@
+lib/core/synth.ml: Array Bist Datapath Dfg Encoding Heuristic Ilp List Printf Result Session_opt

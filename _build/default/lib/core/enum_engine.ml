@@ -1,0 +1,138 @@
+type outcome = {
+  plan : Bist.Plan.t;
+  area : int;
+  leaves : int;
+}
+
+exception Too_large
+
+(* Enumerate canonical register assignments: variables in index order; a
+   variable may reuse any compatible register already opened, or open the
+   next one (capped at the instance's register count). *)
+let enumerate_netlists ?(max_leaves = 200_000) (p : Dfg.Problem.t) yield =
+  let g = p.Dfg.Problem.dfg in
+  let lt = Dfg.Lifetime.compute g in
+  let nv = Dfg.Graph.n_vars g and no = Dfg.Graph.n_ops g in
+  let n_regs = Dfg.Problem.min_registers p in
+  let reg_of_var = Array.make nv (-1) in
+  let module_of_op = Array.make no (-1) in
+  let swapped = Array.make no false in
+  let leaves = ref 0 in
+  let commutative o =
+    Dfg.Op_kind.commutative (Dfg.Graph.operation g o).Dfg.Graph.kind
+  in
+  let rec assign_swaps o =
+    if o >= no then begin
+      incr leaves;
+      if !leaves > max_leaves then raise Too_large;
+      yield reg_of_var module_of_op swapped
+    end
+    else if commutative o then begin
+      swapped.(o) <- false;
+      assign_swaps (o + 1);
+      swapped.(o) <- true;
+      assign_swaps (o + 1);
+      swapped.(o) <- false
+    end
+    else assign_swaps (o + 1)
+  in
+  let rec assign_ops o =
+    if o >= no then assign_swaps 0
+    else begin
+      let step = (Dfg.Graph.operation g o).Dfg.Graph.step in
+      List.iter
+        (fun m ->
+          let clash =
+            List.exists
+              (fun o' -> o' < o && module_of_op.(o') = m)
+              (Dfg.Graph.ops_at_step g step)
+          in
+          if not clash then begin
+            module_of_op.(o) <- m;
+            assign_ops (o + 1);
+            module_of_op.(o) <- -1
+          end)
+        (Dfg.Problem.candidates p o)
+    end
+  in
+  let rec assign_vars v used =
+    if v >= nv then assign_ops 0
+    else
+      let compatible r =
+        List.for_all
+          (fun v' ->
+            reg_of_var.(v') <> r || Dfg.Lifetime.compatible lt v v')
+          (List.init v Fun.id)
+      in
+      let limit = min (used + 1) n_regs in
+      for r = 0 to limit - 1 do
+        if compatible r then begin
+          reg_of_var.(v) <- r;
+          assign_vars (v + 1) (max used (r + 1));
+          reg_of_var.(v) <- -1
+        end
+      done
+  in
+  assign_vars 0 0
+
+let synthesize ?max_leaves (p : Dfg.Problem.t) ~k =
+  let best = ref None in
+  let leaves = ref 0 in
+  match
+    enumerate_netlists ?max_leaves p (fun reg_of_var module_of_op swapped ->
+        incr leaves;
+        match
+          Datapath.Netlist.make ~swapped:(Array.copy swapped) p
+            ~reg_of_var:(Array.copy reg_of_var)
+            ~module_of_op:(Array.copy module_of_op)
+        with
+        | Error _ -> ()
+        | Ok d -> (
+            (* skip data paths that cannot beat the incumbent even with free
+               test registers *)
+            let floor =
+              Datapath.Netlist.reference_area d
+              + (Datapath.Area.constant_tpg
+                * List.length (Datapath.Netlist.constant_only_ports d))
+            in
+            match !best with
+            | Some (_, cost) when floor >= cost -> ()
+            | Some _ | None -> (
+                match Session_opt.solve d ~k with
+                | Error _ -> ()
+                | Ok { Session_opt.plan; optimal; _ } ->
+                    if optimal then begin
+                      let cost = Bist.Plan.objective_cost plan in
+                      match !best with
+                      | Some (_, c) when c <= cost -> ()
+                      | Some _ | None -> best := Some (plan, cost)
+                    end)))
+  with
+  | exception Too_large -> Error "instance too large for exhaustive enumeration"
+  | () -> (
+      match !best with
+      | Some (plan, _) ->
+          Ok { plan; area = Bist.Plan.area plan; leaves = !leaves }
+      | None -> Error "no feasible BIST design")
+
+let reference ?max_leaves (p : Dfg.Problem.t) =
+  let best = ref None in
+  let leaves = ref 0 in
+  match
+    enumerate_netlists ?max_leaves p (fun reg_of_var module_of_op swapped ->
+        incr leaves;
+        match
+          Datapath.Netlist.make ~swapped p ~reg_of_var ~module_of_op
+        with
+        | Error _ -> ()
+        | Ok d ->
+            let area = Datapath.Netlist.reference_area d in
+            (match !best with
+            | Some a when a <= area -> ()
+            | Some _ | None -> best := Some area))
+  with
+  | exception Too_large -> Error "instance too large for exhaustive enumeration"
+  | () -> (
+      match !best with
+      | Some area -> Ok area
+      | None -> Error "no feasible data path")

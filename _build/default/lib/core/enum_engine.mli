@@ -1,0 +1,25 @@
+(** Independent exhaustive engine — the correctness oracle for the ILP.
+
+    Enumerates every canonical register assignment (colourings of the
+    lifetime conflict graph, symmetry-broken by first-use ordering), every
+    module binding and every commutative port swap; evaluates each complete
+    data path with the exact session optimizer ({!Session_opt}); returns the
+    global optimum.
+
+    Exponential by nature: refuses instances whose search space exceeds
+    [max_leaves] (default [200_000]).  The test-suite runs it against the
+    concurrent ILP on small instances — both must agree on the optimal
+    cost, which validates the formulation, the solver and the decoder at
+    once. *)
+
+type outcome = {
+  plan : Bist.Plan.t;
+  area : int;
+  leaves : int;  (** complete data paths evaluated *)
+}
+
+val synthesize :
+  ?max_leaves:int -> Dfg.Problem.t -> k:int -> (outcome, string) result
+
+val reference : ?max_leaves:int -> Dfg.Problem.t -> (int, string) result
+(** Minimum non-BIST area over the same enumeration. *)

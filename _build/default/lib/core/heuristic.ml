@@ -1,0 +1,11 @@
+let ( let* ) r f = Result.bind r f
+
+let netlist (p : Dfg.Problem.t) =
+  let g = p.Dfg.Problem.dfg in
+  let reg_of_var = Hls.Regalloc.allocate g in
+  let* module_of_op = Hls.Binder.bind p in
+  Datapath.Netlist.make p ~reg_of_var ~module_of_op
+
+let synthesize ?time_limit p ~k =
+  let* d = netlist p in
+  Session_opt.solve ?time_limit d ~k

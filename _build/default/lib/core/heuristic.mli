@@ -1,0 +1,15 @@
+(** Constructive heuristic synthesis: left-edge register allocation + greedy
+    module binding, followed by exact session/SR/TPG assignment on the
+    resulting data path ({!Session_opt}).
+
+    This is fast and always succeeds when a plan exists; it provides the
+    warm-start incumbent for the full concurrent ILP and a sequential
+    baseline for the ablation bench (concurrent vs decoupled optimization —
+    the paper's central claim is that concurrency wins). *)
+
+val netlist : Dfg.Problem.t -> (Datapath.Netlist.t, string) result
+(** Left-edge + greedy-binding data path (no port swaps). *)
+
+val synthesize :
+  ?time_limit:float -> Dfg.Problem.t -> k:int ->
+  (Session_opt.outcome, string) result

@@ -1,0 +1,107 @@
+type method_row = {
+  method_name : string;
+  registers : int;
+  tpgs : int;
+  srs : int;
+  bilbos : int;
+  cbilbos : int;
+  mux_inputs : int;
+  area : int;
+  overhead_pct : float;
+  proven_optimal : bool;
+}
+
+let row_of_plan ~name ?(optimal = false) ~reference_area (plan : Bist.Plan.t) =
+  let tpgs, srs, bilbos, cbilbos = Bist.Plan.kind_counts plan in
+  {
+    method_name = name;
+    registers = plan.Bist.Plan.netlist.Datapath.Netlist.n_registers;
+    tpgs;
+    srs;
+    bilbos;
+    cbilbos;
+    mux_inputs = Datapath.Netlist.total_mux_inputs plan.Bist.Plan.netlist;
+    area = Bist.Plan.area plan;
+    overhead_pct = Bist.Plan.overhead_pct plan ~reference:reference_area;
+    proven_optimal = optimal;
+  }
+
+type sweep_point = {
+  sp_k : int;
+  sp_area : int;
+  sp_overhead_pct : float;
+  sp_time : float;
+  sp_optimal : bool;
+  sp_test_cycles : int;
+}
+
+let sweep_points ?n_patterns (rows : Synth.sweep_row list) =
+  List.map
+    (fun (row : Synth.sweep_row) ->
+      {
+        sp_k = row.Synth.k;
+        sp_area = row.Synth.outcome.Synth.area;
+        sp_overhead_pct = row.Synth.overhead_pct;
+        sp_time = row.Synth.outcome.Synth.solve_time;
+        sp_optimal = row.Synth.outcome.Synth.optimal;
+        sp_test_cycles =
+          (Bist.Test_time.estimate ?n_patterns row.Synth.outcome.Synth.plan)
+            .Bist.Test_time.cycles;
+      })
+    rows
+
+type format = Text | Markdown | Csv
+
+let method_header = [ "method"; "R"; "T"; "S"; "B"; "C"; "M"; "area"; "OH%"; "opt" ]
+
+let method_cells r =
+  [
+    r.method_name;
+    string_of_int r.registers;
+    string_of_int r.tpgs;
+    string_of_int r.srs;
+    string_of_int r.bilbos;
+    string_of_int r.cbilbos;
+    string_of_int r.mux_inputs;
+    string_of_int r.area;
+    Printf.sprintf "%.1f" r.overhead_pct;
+    (if r.proven_optimal then "yes" else "no");
+  ]
+
+let sweep_header = [ "k"; "area"; "OH%"; "time_s"; "optimal"; "test_cycles" ]
+
+let sweep_cells p =
+  [
+    string_of_int p.sp_k;
+    string_of_int p.sp_area;
+    Printf.sprintf "%.1f" p.sp_overhead_pct;
+    Printf.sprintf "%.2f" p.sp_time;
+    (if p.sp_optimal then "yes" else "no");
+    string_of_int p.sp_test_cycles;
+  ]
+
+let render fmt header rows =
+  match fmt with
+  | Csv ->
+      String.concat "\n" (List.map (String.concat ",") (header :: rows)) ^ "\n"
+  | Markdown ->
+      let line cells = "| " ^ String.concat " | " cells ^ " |" in
+      let sep = "|" ^ String.concat "|" (List.map (fun _ -> "---") header) ^ "|" in
+      String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+  | Text ->
+      let widths =
+        List.mapi
+          (fun i h ->
+            List.fold_left
+              (fun acc row -> max acc (String.length (List.nth row i)))
+              (String.length h) rows)
+          header
+      in
+      let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+      let line cells =
+        String.concat "  " (List.map2 pad cells widths)
+      in
+      String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let render_methods fmt rows = render fmt method_header (List.map method_cells rows)
+let render_sweep fmt points = render fmt sweep_header (List.map sweep_cells points)

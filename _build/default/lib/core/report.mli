@@ -1,0 +1,44 @@
+(** Structured result rows and renderers for the paper's tables.
+
+    The benchmark harness and the CLI both need the Table 2 / Table 3 views
+    of a set of synthesis results; this module computes the rows from plans
+    and renders them as aligned text, Markdown or CSV. *)
+
+type method_row = {
+  method_name : string;
+  registers : int;
+  tpgs : int;
+  srs : int;
+  bilbos : int;
+  cbilbos : int;
+  mux_inputs : int;
+  area : int;
+  overhead_pct : float;
+  proven_optimal : bool;
+}
+
+val row_of_plan :
+  name:string -> ?optimal:bool -> reference_area:int -> Bist.Plan.t ->
+  method_row
+(** [optimal] defaults to [false] (heuristic methods never prove
+    optimality). *)
+
+type sweep_point = {
+  sp_k : int;
+  sp_area : int;
+  sp_overhead_pct : float;
+  sp_time : float;
+  sp_optimal : bool;
+  sp_test_cycles : int;
+}
+
+val sweep_points : ?n_patterns:int -> Synth.sweep_row list -> sweep_point list
+
+(** {1 Renderers} *)
+
+type format = Text | Markdown | Csv
+
+val render_methods : format -> method_row list -> string
+(** Header + one line per method; Text aligns columns. *)
+
+val render_sweep : format -> sweep_point list -> string

@@ -1,0 +1,25 @@
+(** Exact BIST-register assignment for a {e fixed} data path.
+
+    When the register assignment, module binding and port swaps are frozen,
+    the interconnect (and hence the multiplexer area) is determined; what
+    remains of the paper's formulation is the small session/SR/TPG
+    subproblem over Eqs. (6)-(23).  This module solves it to optimality —
+    it is both the evaluation kernel of the heuristic engine and the warm
+    start generator for the full concurrent ILP.
+
+    The model is tiny (tens to a few hundred binaries), so no time limit is
+    normally needed; one can be supplied for safety. *)
+
+type outcome = {
+  plan : Bist.Plan.t;
+  optimal : bool;
+  nodes : int;
+  time_s : float;
+}
+
+val solve :
+  ?time_limit:float -> Datapath.Netlist.t -> k:int ->
+  (outcome, string) result
+(** [Error] when no valid k-session plan exists for this data path (e.g.
+    two modules writing only one register cannot be tested in one
+    session). *)

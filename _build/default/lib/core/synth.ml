@@ -1,0 +1,154 @@
+type outcome = {
+  plan : Bist.Plan.t;
+  optimal : bool;
+  area : int;
+  solve_time : float;
+  nodes : int;
+}
+
+type reference = {
+  ref_netlist : Datapath.Netlist.t;
+  ref_area : int;
+  ref_optimal : bool;
+  ref_time : float;
+}
+
+let ( let* ) r f = Result.bind r f
+
+(* Permute a netlist's register names so that the encoding's symmetry
+   pre-fixing (max clique member i in register i) is satisfied; without
+   this, heuristic warm starts would be rejected under symmetry. *)
+let align_to_clique (p : Dfg.Problem.t) (d : Datapath.Netlist.t) =
+  let lt = Dfg.Lifetime.compute p.Dfg.Problem.dfg in
+  let clique = Dfg.Lifetime.max_clique lt in
+  let n = d.Datapath.Netlist.n_registers in
+  let perm = Array.make n (-1) in
+  List.iteri
+    (fun slot v ->
+      let r = d.Datapath.Netlist.reg_of_var.(v) in
+      if r < n then perm.(r) <- slot)
+    clique;
+  let used = Array.make n false in
+  Array.iter (fun slot -> if slot >= 0 then used.(slot) <- true) perm;
+  let next = ref 0 in
+  for r = 0 to n - 1 do
+    if perm.(r) < 0 then begin
+      while !next < n && used.(!next) do
+        incr next
+      done;
+      perm.(r) <- !next;
+      used.(!next) <- true
+    end
+  done;
+  let reg_of_var = Array.map (fun r -> perm.(r)) d.Datapath.Netlist.reg_of_var in
+  Datapath.Netlist.make ~swapped:d.Datapath.Netlist.swapped p ~reg_of_var
+    ~module_of_op:d.Datapath.Netlist.module_of_op
+
+(* LP bounding pays off only while the basis inverse stays manageable. *)
+let lp_mode model =
+  if Ilp.Model.n_constraints model <= 1500 then Ilp.Solver.Lp_root
+  else Ilp.Solver.Lp_never
+
+let solver_options ?time_limit encoding warm =
+  {
+    Ilp.Solver.default with
+    Ilp.Solver.time_limit;
+    lp = lp_mode encoding.Encoding.model;
+    branch_order = Some (Encoding.branch_order encoding);
+    warm_start = warm;
+    prefer_high = false;
+  }
+
+let reference ?time_limit ?symmetry (p : Dfg.Problem.t) =
+  let n_regs = Dfg.Problem.min_registers p in
+  let e = Encoding.build_reference ?symmetry p ~n_regs in
+  let* d0 = Heuristic.netlist p in
+  let* d0 = align_to_clique p d0 in
+  let warm = Result.to_option (Encoding.vector_of_netlist e d0) in
+  let options = solver_options ?time_limit e warm in
+  (* presolve keeps variable indices, so decoding solutions still works *)
+  let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
+  let r = Ilp.Solver.solve ~options model in
+  match r.Ilp.Solver.solution with
+  | None -> Error "reference synthesis found no data path"
+  | Some x ->
+      let* netlist, _plan = Encoding.decode e x in
+      Ok
+        {
+          ref_netlist = netlist;
+          ref_area = Datapath.Netlist.reference_area netlist;
+          ref_optimal = r.Ilp.Solver.status = Ilp.Solver.Optimal;
+          ref_time = r.Ilp.Solver.time_s;
+        }
+
+let synthesize ?time_limit ?symmetry (p : Dfg.Problem.t) ~k =
+  let n_regs = Dfg.Problem.min_registers p in
+  let e = Encoding.build ?symmetry p ~n_regs ~k in
+  let warm =
+    match Heuristic.netlist p with
+    | Error _ -> None
+    | Ok d0 -> (
+        match align_to_clique p d0 with
+        | Error _ -> None
+        | Ok d0 -> (
+            match Session_opt.solve d0 ~k with
+            | Error _ -> None
+            | Ok { Session_opt.plan; _ } ->
+                Result.to_option (Encoding.vector_of_plan e plan)))
+  in
+  let options = solver_options ?time_limit e warm in
+  (* presolve keeps variable indices, so decoding solutions still works *)
+  let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
+  let r = Ilp.Solver.solve ~options model in
+  match r.Ilp.Solver.solution with
+  | None ->
+      Error
+        (Printf.sprintf "no feasible BIST design for k = %d (%s)" k
+           (match r.Ilp.Solver.status with
+           | Ilp.Solver.Infeasible -> "proven infeasible"
+           | Ilp.Solver.Unknown | Ilp.Solver.Optimal | Ilp.Solver.Feasible ->
+               "search limit reached"))
+  | Some x -> (
+      let* netlist, plan = Encoding.decode e x in
+      match plan with
+      | None -> Error "internal: BIST encoding decoded without a plan"
+      | Some plan ->
+          let optimal = r.Ilp.Solver.status = Ilp.Solver.Optimal in
+          (* When the time limit cut the search short, the incumbent's
+             session assignment may still be improvable on its own data
+             path: run the exact session optimizer as a post-pass. *)
+          let plan =
+            if optimal then plan
+            else
+              match Session_opt.solve netlist ~k with
+              | Ok { Session_opt.plan = plan'; optimal = true; _ }
+                when Bist.Plan.objective_cost plan'
+                     < Bist.Plan.objective_cost plan ->
+                  plan'
+              | Ok _ | Error _ -> plan
+          in
+          Ok
+            {
+              plan;
+              optimal;
+              area = Bist.Plan.area plan;
+              solve_time = r.Ilp.Solver.time_s;
+              nodes = r.Ilp.Solver.nodes;
+            })
+
+type sweep_row = { k : int; outcome : outcome; overhead_pct : float }
+
+let sweep ?time_limit ?symmetry p =
+  let* reference = reference ?time_limit ?symmetry p in
+  let n = Dfg.Problem.n_modules p in
+  let rec go k acc =
+    if k > n then Ok (List.rev acc)
+    else
+      let* outcome = synthesize ?time_limit ?symmetry p ~k in
+      let overhead_pct =
+        Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area
+      in
+      go (k + 1) ({ k; outcome; overhead_pct } :: acc)
+  in
+  let* rows = go 1 [] in
+  Ok (reference, rows)

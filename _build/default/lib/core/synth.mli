@@ -1,0 +1,48 @@
+(** ADVBIST: the paper's synthesis method, end to end.
+
+    For a problem instance and a session count [k], build the full
+    concurrent ILP (register assignment + BIST register assignment +
+    interconnection assignment, Section 3), warm-start it from the
+    constructive heuristic, solve under an optional time limit (the paper
+    capped CPLEX at 24 CPU hours and marked timed-out entries with [*]),
+    decode and audit the design.
+
+    The reference (non-BIST, area-optimal) circuit of Section 4.1 comes from
+    the same machinery with [k = 0] ({!reference}). *)
+
+type outcome = {
+  plan : Bist.Plan.t;
+  optimal : bool;  (** proven optimal (no limit hit) *)
+  area : int;
+  solve_time : float;
+  nodes : int;
+}
+
+type reference = {
+  ref_netlist : Datapath.Netlist.t;
+  ref_area : int;
+  ref_optimal : bool;
+  ref_time : float;
+}
+
+val reference :
+  ?time_limit:float -> ?symmetry:bool -> Dfg.Problem.t ->
+  (reference, string) result
+(** Area-optimal non-BIST data path (registers all plain + minimal mux
+    area), warm-started from left-edge + greedy binding. *)
+
+val synthesize :
+  ?time_limit:float -> ?symmetry:bool -> Dfg.Problem.t -> k:int ->
+  (outcome, string) result
+
+type sweep_row = {
+  k : int;
+  outcome : outcome;
+  overhead_pct : float;  (** vs the reference area *)
+}
+
+val sweep :
+  ?time_limit:float -> ?symmetry:bool -> Dfg.Problem.t ->
+  (reference * sweep_row list, string) result
+(** One design per k-test session, k = 1 .. N (N = number of modules) —
+    Table 2 of the paper.  [time_limit] applies per k. *)

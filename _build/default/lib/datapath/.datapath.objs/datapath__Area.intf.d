@@ -1,0 +1,1 @@
+lib/datapath/area.mli: Format

@@ -1,0 +1,1 @@
+lib/datapath/dot_dp.ml: Area Array Buffer Dfg List Netlist Out_channel Printf

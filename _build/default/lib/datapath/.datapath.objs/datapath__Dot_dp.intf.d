@@ -1,0 +1,1 @@
+lib/datapath/dot_dp.mli: Area Netlist

@@ -1,0 +1,1 @@
+lib/datapath/netlist.ml: Area Array Dfg Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/datapath/netlist.mli: Dfg Format

@@ -1,0 +1,1 @@
+lib/datapath/rtl.ml: Area Array Buffer Dfg List Netlist Out_channel Printf String

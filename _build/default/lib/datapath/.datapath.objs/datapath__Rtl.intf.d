@@ -1,0 +1,1 @@
+lib/datapath/rtl.mli: Netlist

@@ -1,0 +1,1 @@
+lib/datapath/sim.ml: Area Array Dfg Fun List Netlist Printf

@@ -1,0 +1,1 @@
+lib/datapath/sim.mli: Dfg Netlist

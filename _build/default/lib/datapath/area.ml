@@ -1,0 +1,34 @@
+type reg_kind = Plain | Tpg | Sr | Bilbo | Cbilbo
+
+let width = 8
+
+let register = function
+  | Plain -> 208
+  | Tpg -> 256
+  | Sr -> 304
+  | Bilbo -> 388
+  | Cbilbo -> 596
+
+let mux n =
+  if n <= 1 then 0
+  else
+    match n with
+    | 2 -> 80
+    | 3 -> 176
+    | 4 -> 208
+    | 5 -> 300
+    | 6 -> 320
+    | 7 -> 350
+    | _ -> 350 + (54 * (n - 7))
+
+let constant_tpg = register Tpg
+let constant_tpg_weight = 1000
+
+let reg_kind_name = function
+  | Plain -> "reg"
+  | Tpg -> "TPG"
+  | Sr -> "SR"
+  | Bilbo -> "BILBO"
+  | Cbilbo -> "CBILBO"
+
+let pp_reg_kind ppf k = Format.pp_print_string ppf (reg_kind_name k)

@@ -1,0 +1,36 @@
+(** Transistor-count area model — Table 1 of the paper.
+
+    All counts are for the paper's 8-bit data path width; other widths scale
+    linearly (the table values are per-8-bit-register/mux).  The area of a
+    circuit is the transistor count of its registers and multiplexers; the
+    data-path logic modules are excluded, exactly as in Section 4.1. *)
+
+type reg_kind =
+  | Plain  (** ordinary system register *)
+  | Tpg  (** test pattern generator *)
+  | Sr  (** (multiple-input) signature register *)
+  | Bilbo  (** built-in logic block observer *)
+  | Cbilbo  (** concurrent BILBO: TPG and SR in the same sub-test session *)
+
+val width : int
+(** The paper's data-path width: 8 bits. *)
+
+val register : reg_kind -> int
+(** Table 1(a): 208 / 256 / 304 / 388 / 596 transistors. *)
+
+val mux : int -> int
+(** [mux n] — Table 1(b) cost of an [n]-input multiplexer: 0 for [n <= 1];
+    80, 176, 208, 300, 320, 350 for [n = 2..7]; linear extrapolation at 54
+    transistors per extra input beyond 7 (the table stops at 7). *)
+
+val constant_tpg : int
+(** Cost of the dedicated pattern generator a constant-only module port needs
+    (Section 3.3.4): one TPG-class register, 256 transistors. *)
+
+val constant_tpg_weight : int
+(** The {e objective} weight [w_tc] for such a port: "a large number greater
+    than any other weight" so the optimizer avoids the case when possible.
+    Reported areas use {!constant_tpg}; only the ILP objective uses this. *)
+
+val reg_kind_name : reg_kind -> string
+val pp_reg_kind : Format.formatter -> reg_kind -> unit

@@ -1,0 +1,51 @@
+let kind_color = function
+  | Area.Plain -> "white"
+  | Area.Tpg -> "lightblue"
+  | Area.Sr -> "lightyellow"
+  | Area.Bilbo -> "lightgreen"
+  | Area.Cbilbo -> "salmon"
+
+let to_string ?reg_kinds (d : Netlist.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let p = d.Netlist.problem in
+  add "digraph datapath {\n  rankdir=TB;\n  node [fontname=\"sans\"];\n";
+  for r = 0 to d.Netlist.n_registers - 1 do
+    let kind =
+      match reg_kinds with Some ks -> ks.(r) | None -> Area.Plain
+    in
+    let label =
+      match kind with
+      | Area.Plain -> Printf.sprintf "R%d" r
+      | k -> Printf.sprintf "R%d\\n%s" r (Area.reg_kind_name k)
+    in
+    add "  r%d [label=\"%s\", shape=box, style=filled, fillcolor=%s];\n" r
+      label (kind_color kind)
+  done;
+  Array.iteri
+    (fun m fu ->
+      add "  m%d [label=\"M%d (%s)|<p0> 0|<p1> 1\", shape=record];\n" m m
+        fu.Dfg.Fu_kind.fu_name)
+    p.Dfg.Problem.modules;
+  List.iter
+    (fun (r, m, l) -> add "  r%d -> m%d:p%d;\n" r m l)
+    d.Netlist.reg_to_port;
+  List.iter
+    (fun (c, m, l) ->
+      add "  c%d_%d_%d [label=\"%d\", shape=diamond];\n" c m l c;
+      add "  c%d_%d_%d -> m%d:p%d;\n" c m l m l)
+    d.Netlist.const_to_port;
+  List.iter (fun (m, r) -> add "  m%d -> r%d;\n" m r) d.Netlist.module_to_reg;
+  Array.iteri
+    (fun r loads ->
+      if loads then begin
+        add "  in%d [label=\"in\", shape=plaintext];\n" r;
+        add "  in%d -> r%d;\n" r r
+      end)
+    d.Netlist.reg_loads_input;
+  add "}\n";
+  Buffer.contents buf
+
+let to_file ?reg_kinds path d =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?reg_kinds d))

@@ -1,0 +1,11 @@
+(** Graphviz export of a synthesized data path — the Fig. 1(b) view.
+
+    Registers are boxes (coloured by BIST reconfiguration when a kind array
+    is supplied), modules are trapezoid-ish records with their two input
+    ports, multiplexers are implicit in the fan-in edges. *)
+
+val to_string :
+  ?reg_kinds:Area.reg_kind array -> Netlist.t -> string
+
+val to_file :
+  ?reg_kinds:Area.reg_kind array -> string -> Netlist.t -> unit

@@ -1,0 +1,177 @@
+type t = {
+  problem : Dfg.Problem.t;
+  n_registers : int;
+  reg_of_var : int array;
+  module_of_op : int array;
+  swapped : bool array;
+  reg_to_port : (int * int * int) list;
+  const_to_port : (int * int * int) list;
+  module_to_reg : (int * int) list;
+  reg_loads_input : bool array;
+}
+
+let validate (p : Dfg.Problem.t) reg_of_var module_of_op swapped =
+  let g = p.Dfg.Problem.dfg in
+  let nv = Dfg.Graph.n_vars g and no = Dfg.Graph.n_ops g in
+  if Array.length reg_of_var <> nv then Some "reg_of_var has wrong length"
+  else if Array.length module_of_op <> no then
+    Some "module_of_op has wrong length"
+  else if Array.length swapped <> no then Some "swapped has wrong length"
+  else begin
+    let lt = Dfg.Lifetime.compute g in
+    let err = ref None in
+    let fail fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
+    Array.iteri
+      (fun v r -> if r < 0 then fail "variable %d unassigned" v)
+      reg_of_var;
+    for v = 0 to nv - 1 do
+      for w = v + 1 to nv - 1 do
+        if reg_of_var.(v) = reg_of_var.(w)
+           && not (Dfg.Lifetime.compatible lt v w)
+        then
+          fail "incompatible variables %d and %d share register %d" v w
+            reg_of_var.(v)
+      done
+    done;
+    Array.iteri
+      (fun o m ->
+        if m < 0 || m >= Dfg.Problem.n_modules p then
+          fail "operation %d bound to unknown module %d" o m
+        else begin
+          let kind = (Dfg.Graph.operation g o).Dfg.Graph.kind in
+          if not (Dfg.Fu_kind.supports p.Dfg.Problem.modules.(m) kind) then
+            fail "operation %d (%s) bound to module %d which cannot run it" o
+              (Dfg.Op_kind.name kind) m;
+          if swapped.(o) && not (Dfg.Op_kind.commutative kind) then
+            fail "operation %d (%s) is not commutative but is swapped" o
+              (Dfg.Op_kind.name kind)
+        end)
+      module_of_op;
+    for s = 0 to g.Dfg.Graph.n_steps - 1 do
+      let seen = Hashtbl.create 7 in
+      List.iter
+        (fun o ->
+          let m = module_of_op.(o) in
+          if Hashtbl.mem seen m then
+            fail "module %d executes two operations at step %d" m s
+          else Hashtbl.add seen m ())
+        (Dfg.Graph.ops_at_step g s)
+    done;
+    !err
+  end
+
+let make ?swapped (p : Dfg.Problem.t) ~reg_of_var ~module_of_op =
+  let g = p.Dfg.Problem.dfg in
+  let no = Dfg.Graph.n_ops g in
+  let swapped =
+    match swapped with Some s -> s | None -> Array.make no false
+  in
+  match validate p reg_of_var module_of_op swapped with
+  | Some msg -> Error msg
+  | None ->
+      let n_registers = 1 + Array.fold_left max (-1) reg_of_var in
+      let port o l = if swapped.(o) then 1 - l else l in
+      let dedup l = List.sort_uniq compare l in
+      let reg_to_port =
+        dedup
+          (List.map
+             (fun (v, o, l) ->
+               (reg_of_var.(v), module_of_op.(o), port o l))
+             (Dfg.Graph.e_i g))
+      in
+      let const_to_port =
+        dedup
+          (List.map
+             (fun (c, o, l) -> (c, module_of_op.(o), port o l))
+             (Dfg.Graph.const_edges g))
+      in
+      let module_to_reg =
+        dedup
+          (List.map
+             (fun (o, v) -> (module_of_op.(o), reg_of_var.(v)))
+             (Dfg.Graph.e_o g))
+      in
+      let reg_loads_input = Array.make n_registers false in
+      List.iter
+        (fun v -> reg_loads_input.(reg_of_var.(v)) <- true)
+        (Dfg.Graph.primary_inputs g);
+      Ok
+        {
+          problem = p;
+          n_registers;
+          reg_of_var;
+          module_of_op;
+          swapped;
+          reg_to_port;
+          const_to_port;
+          module_to_reg;
+          reg_loads_input;
+        }
+
+let make_exn ?swapped p ~reg_of_var ~module_of_op =
+  match make ?swapped p ~reg_of_var ~module_of_op with
+  | Ok d -> d
+  | Error msg -> invalid_arg ("Netlist.make_exn: " ^ msg)
+
+let port_fanin d m l =
+  List.length (List.filter (fun (_, m', l') -> m' = m && l' = l) d.reg_to_port)
+  + List.length
+      (List.filter (fun (_, m', l') -> m' = m && l' = l) d.const_to_port)
+
+let reg_fanin d r =
+  List.length (List.filter (fun (_, r') -> r' = r) d.module_to_reg)
+  + (if d.reg_loads_input.(r) then 1 else 0)
+
+let mux_sizes d =
+  let sizes = ref [] in
+  for r = 0 to d.n_registers - 1 do
+    let f = reg_fanin d r in
+    if f >= 2 then sizes := f :: !sizes
+  done;
+  Array.iteri
+    (fun m fu ->
+      for l = 0 to Dfg.Fu_kind.n_ports fu - 1 do
+        let f = port_fanin d m l in
+        if f >= 2 then sizes := f :: !sizes
+      done)
+    d.problem.Dfg.Problem.modules;
+  List.sort (fun a b -> compare b a) !sizes
+
+let total_mux_inputs d = List.fold_left ( + ) 0 (mux_sizes d)
+let mux_area d = List.fold_left (fun acc n -> acc + Area.mux n) 0 (mux_sizes d)
+
+let reference_area d =
+  (d.n_registers * Area.register Area.Plain) + mux_area d
+
+let constant_only_ports d =
+  let ports = ref [] in
+  Array.iteri
+    (fun m fu ->
+      for l = 0 to Dfg.Fu_kind.n_ports fu - 1 do
+        let from_reg =
+          List.exists (fun (_, m', l') -> m' = m && l' = l) d.reg_to_port
+        in
+        let from_const =
+          List.exists (fun (_, m', l') -> m' = m && l' = l) d.const_to_port
+        in
+        if from_const && not from_reg then ports := (m, l) :: !ports
+      done)
+    d.problem.Dfg.Problem.modules;
+  List.rev !ports
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>datapath %s: %d registers, %d modules"
+    d.problem.Dfg.Problem.dfg.Dfg.Graph.name d.n_registers
+    (Dfg.Problem.n_modules d.problem);
+  List.iter
+    (fun (r, m, l) -> Format.fprintf ppf "@,  R%d -> M%d.%d" r m l)
+    d.reg_to_port;
+  List.iter
+    (fun (c, m, l) -> Format.fprintf ppf "@,  #%d -> M%d.%d" c m l)
+    d.const_to_port;
+  List.iter
+    (fun (m, r) -> Format.fprintf ppf "@,  M%d -> R%d" m r)
+    d.module_to_reg;
+  Format.fprintf ppf "@,  mux sizes: %s; M = %d; ref area = %d@]"
+    (String.concat ", " (List.map string_of_int (mux_sizes d)))
+    (total_mux_inputs d) (reference_area d)

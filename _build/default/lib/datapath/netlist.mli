@@ -1,0 +1,68 @@
+(** Register-transfer-level data path derived from an assignment.
+
+    Given a problem instance, a register assignment (variable → register), a
+    module binding (operation → module) and optional input-port swaps for
+    commutative operations, this module derives the interconnection network —
+    the [z_rml] and [z_mr] wires of Section 3.1 — and the multiplexer sizes
+    of Section 3.2.
+
+    Fan-in counting convention (fixed across all synthesis methods compared
+    in this repository):
+    - a module input port's multiplexer has one input per distinct source
+      register and one per distinct constant wired to that port;
+    - a register input multiplexer has one input per distinct source module
+      plus one external input when the register ever loads a primary
+      input. *)
+
+type t = private {
+  problem : Dfg.Problem.t;
+  n_registers : int;
+  reg_of_var : int array;
+  module_of_op : int array;
+  swapped : bool array;
+      (** per operation: inputs applied to the module's ports in reverse
+          order (only legal for commutative operations) *)
+  reg_to_port : (int * int * int) list;  (** (r, m, l) wires — z_rml = 1 *)
+  const_to_port : (int * int * int) list;  (** (c, m, l) constant wirings *)
+  module_to_reg : (int * int) list;  (** (m, r) wires — z_mr = 1 *)
+  reg_loads_input : bool array;  (** register ever loads a primary input *)
+}
+
+val make :
+  ?swapped:bool array ->
+  Dfg.Problem.t -> reg_of_var:int array -> module_of_op:int array ->
+  (t, string) result
+(** Validates the assignment (register compatibility, binding legality, swap
+    legality) and derives the interconnect. *)
+
+val make_exn :
+  ?swapped:bool array ->
+  Dfg.Problem.t -> reg_of_var:int array -> module_of_op:int array -> t
+
+(** {1 Multiplexer statistics} *)
+
+val port_fanin : t -> int -> int -> int
+(** [port_fanin d m l] — multiplexer input count at port [l] of module [m]. *)
+
+val reg_fanin : t -> int -> int
+(** Multiplexer input count at the input of register [r]. *)
+
+val mux_sizes : t -> int list
+(** All multiplexer input counts [>= 2], descending. *)
+
+val total_mux_inputs : t -> int
+(** The paper's column M: the sum of the input counts of all multiplexers
+    (fan-ins [>= 2]). *)
+
+val mux_area : t -> int
+(** Total multiplexer transistor count under {!Area.mux}. *)
+
+val reference_area : t -> int
+(** Registers (all {!Area.Plain}) + multiplexers: the area of the circuit as
+    a non-BIST reference design. *)
+
+val constant_only_ports : t -> (int * int) list
+(** Ports fed exclusively by constants — the Section 3.3.4 cases that would
+    need a dedicated test pattern generator. *)
+
+val pp : Format.formatter -> t -> unit

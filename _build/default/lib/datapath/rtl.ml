@@ -1,0 +1,138 @@
+let verilog_op = function
+  | Dfg.Op_kind.Add -> "+"
+  | Dfg.Op_kind.Sub -> "-"
+  | Dfg.Op_kind.Mul -> "*"
+  | Dfg.Op_kind.Lt -> "<"
+  | Dfg.Op_kind.And -> "&"
+  | Dfg.Op_kind.Or -> "|"
+  | Dfg.Op_kind.Xor -> "^"
+  | Dfg.Op_kind.Shl -> "<<"
+  | Dfg.Op_kind.Shr -> ">>"
+
+(* A functional unit supporting several op kinds gets an opcode input; the
+   emitted unit muxes between the supported operations. *)
+let to_string (d : Netlist.t) =
+  let p = d.Netlist.problem in
+  let g = p.Dfg.Problem.dfg in
+  let lt = Dfg.Lifetime.compute g in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let w = Area.width in
+  let n_steps = g.Dfg.Graph.n_steps in
+  let step_bits =
+    let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+    bits n_steps
+  in
+  let sanitized name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  let inputs = Dfg.Graph.primary_inputs g in
+  let outputs = Dfg.Graph.primary_outputs g in
+  add "// generated from DFG %s\n" g.Dfg.Graph.name;
+  add "module %s (\n  input clk,\n  input rst" (sanitized g.Dfg.Graph.name);
+  List.iter
+    (fun v ->
+      add ",\n  input [%d:0] in_%s" (w - 1)
+        (sanitized (Dfg.Graph.variable g v).Dfg.Graph.var_name))
+    inputs;
+  List.iter
+    (fun v ->
+      add ",\n  output [%d:0] out_%s" (w - 1)
+        (sanitized (Dfg.Graph.variable g v).Dfg.Graph.var_name))
+    outputs;
+  add "\n);\n\n";
+  add "  reg [%d:0] step;\n" (step_bits - 1);
+  add "  always @(posedge clk) begin\n";
+  add "    if (rst) step <= 0;\n";
+  add "    else if (step < %d) step <= step + 1;\n" n_steps;
+  add "  end\n\n";
+  for r = 0 to d.Netlist.n_registers - 1 do
+    add "  reg [%d:0] R%d;\n" (w - 1) r
+  done;
+  add "\n";
+  (* Functional units as wires computed from their current operation. *)
+  Array.iteri
+    (fun m _fu ->
+      add "  reg [%d:0] M%d_a, M%d_b;\n  reg [%d:0] M%d_y;\n" (w - 1) m m
+        (w - 1) m)
+    p.Dfg.Problem.modules;
+  add "\n  // module input selection and function per step\n";
+  add "  always @* begin\n";
+  Array.iteri
+    (fun m _fu -> add "    M%d_a = 0; M%d_b = 0; M%d_y = 0;\n" m m m)
+    p.Dfg.Problem.modules;
+  add "    case (step)\n";
+  for s = 0 to n_steps - 1 do
+    add "      %d'd%d: begin\n" step_bits s;
+    List.iter
+      (fun o ->
+        let op = Dfg.Graph.operation g o in
+        let m = d.Netlist.module_of_op.(o) in
+        let operand = function
+          | Dfg.Graph.Var v -> Printf.sprintf "R%d" d.Netlist.reg_of_var.(v)
+          | Dfg.Graph.Const c -> Printf.sprintf "%d'd%d" w (c land ((1 lsl w) - 1))
+        in
+        add "        M%d_a = %s; M%d_b = %s; M%d_y = M%d_a %s M%d_b;\n" m
+          (operand op.Dfg.Graph.inputs.(0))
+          m
+          (operand op.Dfg.Graph.inputs.(1))
+          m m (verilog_op op.Dfg.Graph.kind) m)
+      (Dfg.Graph.ops_at_step g s);
+    add "      end\n"
+  done;
+  add "      default: ;\n    endcase\n  end\n\n";
+  add "  // register loads\n";
+  add "  always @(posedge clk) begin\n";
+  for s = 0 to n_steps - 1 do
+    (* loads happening at the clock edge that ends step s (boundary s+1):
+       operation results; plus primary inputs born at boundary s load at the
+       edge entering step s (we fold them into the same case via step
+       matching at their birth boundary). *)
+    add "    if (step == %d) begin\n" s;
+    List.iter
+      (fun o ->
+        let op = Dfg.Graph.operation g o in
+        add "      R%d <= M%d_y;\n"
+          d.Netlist.reg_of_var.(op.Dfg.Graph.output)
+          d.Netlist.module_of_op.(o))
+      (Dfg.Graph.ops_at_step g s);
+    add "    end\n"
+  done;
+  (* primary input loads at their birth boundary (rst loads boundary 0) *)
+  add "    if (rst) begin\n";
+  List.iter
+    (fun v ->
+      let birth, _ = Dfg.Lifetime.interval lt v in
+      if birth = 0 then
+        add "      R%d <= in_%s;\n" d.Netlist.reg_of_var.(v)
+          (sanitized (Dfg.Graph.variable g v).Dfg.Graph.var_name))
+    inputs;
+  add "    end\n";
+  List.iter
+    (fun v ->
+      let birth, _ = Dfg.Lifetime.interval lt v in
+      if birth > 0 then begin
+        add "    if (step == %d) begin\n" (birth - 1);
+        add "      R%d <= in_%s;\n" d.Netlist.reg_of_var.(v)
+          (sanitized (Dfg.Graph.variable g v).Dfg.Graph.var_name);
+        add "    end\n"
+      end)
+    inputs;
+  add "  end\n\n";
+  List.iter
+    (fun v ->
+      add "  assign out_%s = R%d;\n"
+        (sanitized (Dfg.Graph.variable g v).Dfg.Graph.var_name)
+        d.Netlist.reg_of_var.(v))
+    outputs;
+  add "\nendmodule\n";
+  Buffer.contents buf
+
+let to_file path d =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string d))

@@ -1,0 +1,11 @@
+(** Synthesizable-style Verilog emission of a data path.
+
+    One module per netlist: a step counter FSM, one register per data-path
+    register with an input multiplexer controlled by the schedule, one
+    combinational functional unit per module with port multiplexers, and
+    load ports for primary inputs.  Intended for inspection and for feeding
+    external RTL tools; the OCaml simulator ({!Sim}) is the source of truth
+    in tests. *)
+
+val to_string : Netlist.t -> string
+val to_file : string -> Netlist.t -> unit

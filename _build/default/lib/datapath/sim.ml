@@ -1,0 +1,147 @@
+let eval_dfg g ~inputs =
+  let nv = Dfg.Graph.n_vars g in
+  let values = Array.make nv 0 in
+  let input_value name =
+    match List.assoc_opt name inputs with
+    | Some v -> v land ((1 lsl Area.width) - 1)
+    | None ->
+        invalid_arg (Printf.sprintf "Sim.eval_dfg: missing input %S" name)
+  in
+  for v = 0 to nv - 1 do
+    match Dfg.Graph.def_of g v with
+    | Dfg.Graph.Primary_input ->
+        values.(v) <- input_value (Dfg.Graph.variable g v).Dfg.Graph.var_name
+    | Dfg.Graph.Output_of _ -> ()
+  done;
+  (* operations in dependence order: schedule order suffices (validated). *)
+  let by_step =
+    List.sort
+      (fun a b ->
+        compare (Dfg.Graph.operation g a).Dfg.Graph.step
+          (Dfg.Graph.operation g b).Dfg.Graph.step)
+      (List.init (Dfg.Graph.n_ops g) Fun.id)
+  in
+  List.iter
+    (fun o ->
+      let op = Dfg.Graph.operation g o in
+      let operand = function
+        | Dfg.Graph.Var v -> values.(v)
+        | Dfg.Graph.Const c -> c land ((1 lsl Area.width) - 1)
+      in
+      values.(op.Dfg.Graph.output) <-
+        Dfg.Op_kind.eval op.Dfg.Graph.kind ~width:Area.width
+          (operand op.Dfg.Graph.inputs.(0))
+          (operand op.Dfg.Graph.inputs.(1)))
+    by_step;
+  values
+
+type trace = {
+  reg_values : int array array;
+  outputs : (string * int) list;
+}
+
+let run (d : Netlist.t) ~inputs =
+  let p = d.Netlist.problem in
+  let g = p.Dfg.Problem.dfg in
+  let lt = Dfg.Lifetime.compute g in
+  let n_bound = Dfg.Graph.n_boundaries g in
+  let regs = Array.make_matrix n_bound d.Netlist.n_registers (-1) in
+  let cur = Array.make d.Netlist.n_registers (-1) in
+  let pending = ref [] in
+  let exception Fail of string in
+  try
+    let input_value name =
+      match List.assoc_opt name inputs with
+      | Some v -> v land ((1 lsl Area.width) - 1)
+      | None -> raise (Fail (Printf.sprintf "missing input %S" name))
+    in
+    (* At each boundary t: apply the register writes of step t-1, then load
+       primary inputs born at t, snapshot, then execute step t. *)
+    for t = 0 to n_bound - 1 do
+      List.iter (fun (r, value) -> cur.(r) <- value) !pending;
+      pending := [];
+      List.iter
+        (fun v ->
+          match Dfg.Graph.def_of g v with
+          | Dfg.Graph.Primary_input ->
+              let birth, _ = Dfg.Lifetime.interval lt v in
+              if birth = t then
+                cur.(d.Netlist.reg_of_var.(v)) <-
+                  input_value (Dfg.Graph.variable g v).Dfg.Graph.var_name
+          | Dfg.Graph.Output_of _ -> ())
+        (List.init (Dfg.Graph.n_vars g) Fun.id);
+      Array.blit cur 0 regs.(t) 0 d.Netlist.n_registers;
+      (* Execute step t (if any): read the boundary-t contents, defer the
+         writes to boundary t+1. *)
+      if t < n_bound - 1 then
+        List.iter
+          (fun o ->
+            let op = Dfg.Graph.operation g o in
+            let m = d.Netlist.module_of_op.(o) in
+            let read l = function
+              | Dfg.Graph.Const c ->
+                  (* the constant must be wired to the (possibly swapped)
+                     port *)
+                  let l' = if d.Netlist.swapped.(o) then 1 - l else l in
+                  if
+                    not
+                      (List.mem (c, m, l') d.Netlist.const_to_port)
+                  then
+                    raise
+                      (Fail
+                         (Printf.sprintf "missing constant wire #%d->M%d.%d" c
+                            m l'))
+                  else c land ((1 lsl Area.width) - 1)
+              | Dfg.Graph.Var v ->
+                  let r = d.Netlist.reg_of_var.(v) in
+                  let l' = if d.Netlist.swapped.(o) then 1 - l else l in
+                  if not (List.mem (r, m, l') d.Netlist.reg_to_port) then
+                    raise
+                      (Fail
+                         (Printf.sprintf "missing wire R%d->M%d.%d" r m l'))
+                  else begin
+                    let value = cur.(r) in
+                    if value < 0 then
+                      raise
+                        (Fail
+                           (Printf.sprintf
+                              "register R%d read uninitialized at step %d" r t))
+                    else value
+                  end
+            in
+            let a = read 0 op.Dfg.Graph.inputs.(0) in
+            let b = read 1 op.Dfg.Graph.inputs.(1) in
+            (* Commutativity: swapping the operands of a commutative module
+               does not change the result, so evaluate in DFG order. *)
+            let result = Dfg.Op_kind.eval op.Dfg.Graph.kind ~width:Area.width a b in
+            let dest = d.Netlist.reg_of_var.(op.Dfg.Graph.output) in
+            if not (List.mem (m, dest) d.Netlist.module_to_reg) then
+              raise (Fail (Printf.sprintf "missing wire M%d->R%d" m dest));
+            pending := (dest, result) :: !pending)
+          (Dfg.Graph.ops_at_step g t)
+    done;
+    let values = eval_dfg g ~inputs in
+    let outputs =
+      List.map
+        (fun v -> ((Dfg.Graph.variable g v).Dfg.Graph.var_name, values.(v)))
+        (Dfg.Graph.primary_outputs g)
+    in
+    Ok { reg_values = regs; outputs }
+  with
+  | Fail msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let agrees d ~inputs =
+  let g = d.Netlist.problem.Dfg.Problem.dfg in
+  match run d ~inputs with
+  | Error _ -> false
+  | Ok trace ->
+      let values = eval_dfg g ~inputs in
+      let lt = Dfg.Lifetime.compute g in
+      let ok = ref true in
+      for v = 0 to Dfg.Graph.n_vars g - 1 do
+        let birth, _ = Dfg.Lifetime.interval lt v in
+        let r = d.Netlist.reg_of_var.(v) in
+        if trace.reg_values.(birth).(r) <> values.(v) then ok := false
+      done;
+      !ok

@@ -1,0 +1,31 @@
+(** Cycle-accurate functional simulation of a synthesized data path.
+
+    Two evaluators are provided:
+
+    - {!eval_dfg}: the reference interpreter — evaluates every DFG variable
+      directly from the primary-input environment, ignoring the data path.
+    - {!run}: drives the data path netlist cycle by cycle — registers load
+      primary inputs at their birth boundaries and module results at the
+      producing operation's write boundary; each operation reads its source
+      registers through the derived interconnect.
+
+    A correct register/module assignment makes the two agree; the test-suite
+    uses this as a functional audit of every synthesis result. *)
+
+val eval_dfg : Dfg.Graph.t -> inputs:(string * int) list -> int array
+(** Values of all variables ([Area.width]-bit wrap-around arithmetic).
+    @raise Invalid_argument if an input name is missing from [inputs]. *)
+
+type trace = {
+  reg_values : int array array;  (** [boundary][register] contents (-1 = x) *)
+  outputs : (string * int) list;  (** primary-output variable values *)
+}
+
+val run : Netlist.t -> inputs:(string * int) list -> (trace, string) result
+(** Simulates all control steps.  Errors indicate a netlist that does not
+    implement its DFG (e.g. a missing interconnection) — which {!Netlist.make}
+    should have made impossible — or an incomplete input environment. *)
+
+val agrees : Netlist.t -> inputs:(string * int) list -> bool
+(** [run] matches [eval_dfg] on every variable at its birth boundary and
+    every primary output. *)

@@ -1,0 +1,1 @@
+lib/dfg/benchmarks.ml: Fu_kind Graph Op_kind Problem

@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Array Buffer Graph List Op_kind Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/dfg/fu_kind.ml: Format List Op_kind String

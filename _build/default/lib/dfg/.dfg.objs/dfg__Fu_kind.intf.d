@@ -1,0 +1,1 @@
+lib/dfg/fu_kind.mli: Format Op_kind

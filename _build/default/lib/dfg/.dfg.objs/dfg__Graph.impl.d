@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Format Int List Op_kind Printf String

@@ -1,0 +1,1 @@
+lib/dfg/graph.mli: Format Op_kind

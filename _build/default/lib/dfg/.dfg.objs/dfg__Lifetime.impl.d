@@ -1,0 +1,1 @@
+lib/dfg/lifetime.ml: Array Fu_kind Graph List Op_kind Printf

@@ -1,0 +1,1 @@
+lib/dfg/lifetime.mli: Fu_kind Graph

@@ -1,0 +1,1 @@
+lib/dfg/op_kind.mli: Format

@@ -1,0 +1,1 @@
+lib/dfg/parse.ml: Array Buffer Graph In_channel List Op_kind Out_channel Printf Result Sexpr String

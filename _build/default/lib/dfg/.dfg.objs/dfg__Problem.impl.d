@@ -1,0 +1,1 @@
+lib/dfg/problem.ml: Array Format Fu_kind Graph Lifetime List Printf String

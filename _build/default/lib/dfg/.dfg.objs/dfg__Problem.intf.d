@@ -1,0 +1,1 @@
+lib/dfg/problem.mli: Format Fu_kind Graph

@@ -1,0 +1,1 @@
+lib/dfg/sexpr.ml: Format List Printf String

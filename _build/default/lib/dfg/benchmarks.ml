@@ -1,0 +1,64 @@
+let fig1 =
+  let b = Graph.Builder.create ~name:"fig1" () in
+  let v0 = Graph.Builder.input b "v0" in
+  let v1 = Graph.Builder.input b "v1" in
+  let v2 = Graph.Builder.input b "v2" in
+  let v3 = Graph.Builder.input b "v3" in
+  let v4 = Graph.Builder.op ~name:"v4" b Op_kind.Add ~step:0 v0 v1 in
+  let v5 = Graph.Builder.op ~name:"v5" b Op_kind.Add ~step:1 v3 v4 in
+  let v6 = Graph.Builder.op ~name:"v6" b Op_kind.Mul ~step:1 v4 v2 in
+  let (_ : Graph.operand) =
+    Graph.Builder.op ~name:"v7" b Op_kind.Mul ~step:2 v5 v6
+  in
+  Problem.make_exn (Graph.Builder.build_exn b)
+    [ Fu_kind.adder; Fu_kind.multiplier ]
+
+let tseng =
+  let b = Graph.Builder.create ~name:"tseng" () in
+  let a = Graph.Builder.input b "a" in
+  let bb = Graph.Builder.input b "b" in
+  let c = Graph.Builder.input b "c" in
+  let d = Graph.Builder.input b "d" in
+  let e = Graph.Builder.input b "e" in
+  let t0 = Graph.Builder.op ~name:"t0" b Op_kind.Add ~step:0 a bb in
+  let t1 = Graph.Builder.op ~name:"t1" b Op_kind.Or ~step:0 c d in
+  let t2 = Graph.Builder.op ~name:"t2" b Op_kind.Mul ~step:1 t0 e in
+  let t3 = Graph.Builder.op ~name:"t3" b Op_kind.Sub ~step:1 t0 d in
+  let t4 = Graph.Builder.op ~name:"t4" b Op_kind.And ~step:2 t2 t1 in
+  let t5 = Graph.Builder.op ~name:"t5" b Op_kind.Add ~step:2 t3 a in
+  let (_ : Graph.operand) =
+    Graph.Builder.op ~name:"t6" b Op_kind.Mul ~step:3 t5 t4
+  in
+  Problem.make_exn (Graph.Builder.build_exn b)
+    [ Fu_kind.alu; Fu_kind.logic; Fu_kind.multiplier ]
+
+(* HAL differential-equation benchmark (Paulin):
+     x' = x + dx;  u' = u - 3*x*u*dx - 3*y*dx;  y' = y + u*dx;  c = x' < a
+   with dx, 3 and a immediate constants. *)
+let paulin =
+  let b = Graph.Builder.create ~name:"paulin" () in
+  let x = Graph.Builder.input b "x" in
+  let u = Graph.Builder.input b "u" in
+  let y = Graph.Builder.input b "y" in
+  let dx = Graph.Const 2 in
+  let three = Graph.Const 3 in
+  let a = Graph.Const 100 in
+  let m1 = Graph.Builder.op ~name:"m1" b Op_kind.Mul ~step:0 three x in
+  let m6 = Graph.Builder.op ~name:"m6" b Op_kind.Mul ~step:0 u dx in
+  let a1 = Graph.Builder.op ~name:"a1" b Op_kind.Add ~step:0 x dx in
+  let m2 = Graph.Builder.op ~name:"m2" b Op_kind.Mul ~step:1 m1 u in
+  let m4 = Graph.Builder.op ~name:"m4" b Op_kind.Mul ~step:1 three y in
+  let (_a2 : Graph.operand) =
+    Graph.Builder.op ~name:"a2" b Op_kind.Add ~step:1 y m6
+  in
+  let (_c : Graph.operand) =
+    Graph.Builder.op ~name:"cmp" b Op_kind.Lt ~step:1 a1 a
+  in
+  let m3 = Graph.Builder.op ~name:"m3" b Op_kind.Mul ~step:2 m2 dx in
+  let m5 = Graph.Builder.op ~name:"m5" b Op_kind.Mul ~step:2 m4 dx in
+  let s1 = Graph.Builder.op ~name:"s1" b Op_kind.Sub ~step:3 u m3 in
+  let (_s2 : Graph.operand) =
+    Graph.Builder.op ~name:"s2" b Op_kind.Sub ~step:4 s1 m5
+  in
+  Problem.make_exn (Graph.Builder.build_exn b)
+    [ Fu_kind.multiplier; Fu_kind.multiplier; Fu_kind.alu; Fu_kind.alu ]

@@ -1,0 +1,37 @@
+let to_string g =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %S {\n  rankdir=TB;\n" g.Graph.name;
+  Array.iteri
+    (fun v (var : Graph.variable) ->
+      add "  v%d [label=%S, shape=plaintext];\n" v var.var_name)
+    g.Graph.variables;
+  Array.iteri
+    (fun o (op : Graph.operation) ->
+      add "  o%d [label=\"%s\\n@%d\", shape=circle];\n" o
+        (Op_kind.symbol op.kind) op.step)
+    g.Graph.operations;
+  (* Constants get one node per (op, port) occurrence to keep the drawing a
+     tree-like DFG rather than a tangle. *)
+  List.iteri
+    (fun i (c, o, l) ->
+      add "  c%d [label=\"%d\", shape=box];\n" i c;
+      add "  c%d -> o%d [label=\"%d\"];\n" i o l)
+    (Graph.const_edges g);
+  List.iter (fun (v, o, l) -> add "  v%d -> o%d [label=\"%d\"];\n" v o l)
+    (Graph.e_i g);
+  List.iter (fun (o, v) -> add "  o%d -> v%d;\n" o v) (Graph.e_o g);
+  for s = 0 to g.Graph.n_steps - 1 do
+    match Graph.ops_at_step g s with
+    | [] | [ _ ] -> ()
+    | ops ->
+        add "  { rank=same;%s }\n"
+          (String.concat ""
+             (List.map (fun o -> Printf.sprintf " o%d;" o) ops))
+  done;
+  add "}\n";
+  Buffer.contents buf
+
+let to_file path g =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string g))

@@ -1,0 +1,8 @@
+(** Graphviz export of scheduled DFGs.
+
+    Operations are drawn as circles labelled with their symbol, variables as
+    plain nodes, constants as boxes; operations of the same control step are
+    ranked together, mirroring Fig. 1(a) of the paper. *)
+
+val to_string : Graph.t -> string
+val to_file : string -> Graph.t -> unit

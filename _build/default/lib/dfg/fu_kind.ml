@@ -1,0 +1,25 @@
+type t = { fu_name : string; supports : Op_kind.t list }
+
+let make ~name supports =
+  if supports = [] then invalid_arg "Fu_kind.make: empty support list";
+  { fu_name = name; supports }
+
+let adder = make ~name:"add" [ Op_kind.Add ]
+let subtractor = make ~name:"sub" [ Op_kind.Sub ]
+let alu = make ~name:"alu" [ Op_kind.Add; Op_kind.Sub; Op_kind.Lt ]
+let multiplier = make ~name:"mul" [ Op_kind.Mul ]
+let logic = make ~name:"logic" [ Op_kind.And; Op_kind.Or; Op_kind.Xor ]
+let shifter = make ~name:"shift" [ Op_kind.Shl; Op_kind.Shr ]
+let supports t k = List.exists (Op_kind.equal k) t.supports
+
+let n_ports t =
+  List.fold_left (fun acc k -> max acc (Op_kind.arity k)) 0 t.supports
+
+let commutative t = List.for_all Op_kind.commutative t.supports
+
+let equal a b =
+  String.equal a.fu_name b.fu_name
+  && List.length a.supports = List.length b.supports
+  && List.for_all2 Op_kind.equal a.supports b.supports
+
+let pp ppf t = Format.pp_print_string ppf t.fu_name

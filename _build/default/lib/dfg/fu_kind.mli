@@ -1,0 +1,45 @@
+(** Functional-unit (module) kinds for the data path.
+
+    A module of the data path executes operations whose {!Op_kind.t} it
+    supports.  High-level synthesis fixes the module allocation (how many
+    modules of which kind) before BIST synthesis; the ILP then binds
+    operations to concrete modules of a supporting kind. *)
+
+type t = {
+  fu_name : string;  (** e.g. ["alu"], ["mul"] *)
+  supports : Op_kind.t list;  (** operation kinds executable on this unit *)
+}
+
+val adder : t
+(** Supports [Add] only. *)
+
+val subtractor : t
+(** Supports [Sub] only. *)
+
+val alu : t
+(** Supports [Add], [Sub] and [Lt]. *)
+
+val multiplier : t
+(** Supports [Mul] only. *)
+
+val logic : t
+(** Supports [And], [Or], [Xor]. *)
+
+val shifter : t
+(** Supports [Shl], [Shr]. *)
+
+val make : name:string -> Op_kind.t list -> t
+(** Custom unit. The support list must be non-empty; raises
+    [Invalid_argument] otherwise. *)
+
+val supports : t -> Op_kind.t -> bool
+
+val n_ports : t -> int
+(** Number of input ports: the maximum arity over supported operations. *)
+
+val commutative : t -> bool
+(** A module is commutative when {e every} supported operation kind is
+    commutative; only then may the ILP swap its input ports (Eq. (3)). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

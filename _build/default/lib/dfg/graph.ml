@@ -1,0 +1,239 @@
+type operand = Var of int | Const of int
+type var_def = Primary_input | Output_of of int
+
+type operation = {
+  kind : Op_kind.t;
+  step : int;
+  inputs : operand array;
+  output : int;
+}
+
+type variable = { var_name : string; def : var_def }
+
+type t = {
+  name : string;
+  n_steps : int;
+  inputs_at_start : bool;
+  variables : variable array;
+  operations : operation array;
+}
+
+let n_vars g = Array.length g.variables
+let n_ops g = Array.length g.operations
+let n_boundaries g = g.n_steps + 1
+let variable g v = g.variables.(v)
+let operation g o = g.operations.(o)
+let def_of g v = g.variables.(v).def
+
+let uses_of g v =
+  let acc = ref [] in
+  for o = Array.length g.operations - 1 downto 0 do
+    let inputs = g.operations.(o).inputs in
+    for l = Array.length inputs - 1 downto 0 do
+      match inputs.(l) with
+      | Var v' when v' = v -> acc := (o, l) :: !acc
+      | Var _ | Const _ -> ()
+    done
+  done;
+  !acc
+
+let e_i g =
+  let acc = ref [] in
+  for o = Array.length g.operations - 1 downto 0 do
+    let inputs = g.operations.(o).inputs in
+    for l = Array.length inputs - 1 downto 0 do
+      match inputs.(l) with
+      | Var v -> acc := (v, o, l) :: !acc
+      | Const _ -> ()
+    done
+  done;
+  !acc
+
+let e_o g =
+  Array.to_list (Array.mapi (fun o op -> (o, op.output)) g.operations)
+
+let const_edges g =
+  let acc = ref [] in
+  for o = Array.length g.operations - 1 downto 0 do
+    let inputs = g.operations.(o).inputs in
+    for l = Array.length inputs - 1 downto 0 do
+      match inputs.(l) with
+      | Const c -> acc := (c, o, l) :: !acc
+      | Var _ -> ()
+    done
+  done;
+  !acc
+
+let constants g =
+  List.sort_uniq Int.compare (List.map (fun (c, _, _) -> c) (const_edges g))
+
+let ops_at_step g step =
+  let acc = ref [] in
+  for o = Array.length g.operations - 1 downto 0 do
+    if g.operations.(o).step = step then acc := o :: !acc
+  done;
+  !acc
+
+let op_kinds g =
+  Array.fold_left
+    (fun acc op ->
+      if List.exists (Op_kind.equal op.kind) acc then acc else acc @ [ op.kind ])
+    [] g.operations
+
+let primary_inputs g =
+  let acc = ref [] in
+  for v = n_vars g - 1 downto 0 do
+    match g.variables.(v).def with
+    | Primary_input -> acc := v :: !acc
+    | Output_of _ -> ()
+  done;
+  !acc
+
+let primary_outputs g =
+  let used = Array.make (n_vars g) false in
+  Array.iter
+    (fun op ->
+      Array.iter
+        (function Var v -> used.(v) <- true | Const _ -> ())
+        op.inputs)
+    g.operations;
+  let acc = ref [] in
+  for v = n_vars g - 1 downto 0 do
+    if not used.(v) then acc := v :: !acc
+  done;
+  !acc
+
+(* Validation: every structural invariant a consumer may rely on. *)
+let validate g =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let nv = n_vars g and no = n_ops g in
+  if g.n_steps < 1 then err "n_steps must be >= 1 (got %d)" g.n_steps;
+  let check_operand o l = function
+    | Var v when v < 0 || v >= nv ->
+        err "op %d port %d references unknown variable %d" o l v
+    | Var _ | Const _ -> ()
+  in
+  Array.iteri
+    (fun o op ->
+      if op.step < 0 || op.step >= g.n_steps then
+        err "op %d scheduled at step %d outside [0,%d)" o op.step g.n_steps;
+      if Array.length op.inputs <> Op_kind.arity op.kind then
+        err "op %d has %d inputs but %a has arity %d" o
+          (Array.length op.inputs) Op_kind.pp op.kind (Op_kind.arity op.kind);
+      Array.iteri (fun l x -> check_operand o l x) op.inputs;
+      if op.output < 0 || op.output >= nv then
+        err "op %d output references unknown variable %d" o op.output
+      else begin
+        match g.variables.(op.output).def with
+        | Output_of o' when o' = o -> ()
+        | Output_of o' ->
+            err "op %d claims output var %d, whose def is op %d" o op.output o'
+        | Primary_input ->
+            err "op %d outputs var %d which is marked primary input" o
+              op.output
+      end)
+    g.operations;
+  Array.iteri
+    (fun v var ->
+      match var.def with
+      | Primary_input -> ()
+      | Output_of o ->
+          if o < 0 || o >= no then
+            err "var %d defined by unknown op %d" v o
+          else if g.operations.(o).output <> v then
+            err "var %d claims def op %d, whose output is var %d" v o
+              g.operations.(o).output)
+    g.variables;
+  (* Data dependences must respect the schedule: a value produced at
+     boundary step+1 can only be read at step >= step+1. *)
+  Array.iteri
+    (fun o op ->
+      Array.iteri
+        (fun l x ->
+          match x with
+          | Const _ -> ()
+          | Var v -> (
+              if v >= 0 && v < nv then
+                match g.variables.(v).def with
+                | Primary_input -> ()
+                | Output_of o' ->
+                    if o' >= 0 && o' < no then
+                      let def_step = g.operations.(o').step in
+                      if op.step <= def_step then
+                        err
+                          "op %d (step %d) port %d reads var %d produced at \
+                           step %d"
+                          o op.step l v def_step))
+        op.inputs)
+    g.operations;
+  List.rev !errs
+
+let v ?(inputs_at_start = false) ~name ~n_steps variables operations =
+  let g = { name; n_steps; inputs_at_start; variables; operations } in
+  match validate g with [] -> Ok g | errs -> Error errs
+
+module Builder = struct
+
+  type t = {
+    b_name : string;
+    b_inputs_at_start : bool;
+    mutable vars : variable list;  (* reversed *)
+    mutable n_var : int;
+    mutable ops : operation list;  (* reversed *)
+    mutable n_op : int;
+    mutable max_step : int;
+  }
+
+  let create ?(inputs_at_start = false) ~name () =
+    { b_name = name; b_inputs_at_start = inputs_at_start; vars = []; n_var = 0;
+      ops = []; n_op = 0; max_step = -1 }
+
+  let fresh_var b name def =
+    let id = b.n_var in
+    b.vars <- { var_name = name; def } :: b.vars;
+    b.n_var <- id + 1;
+    id
+
+  let input b name = Var (fresh_var b name Primary_input)
+
+  let op ?name b kind ~step a c =
+    let o = b.n_op in
+    let out_name =
+      match name with Some n -> n | None -> Printf.sprintf "t%d" o
+    in
+    let out = fresh_var b out_name (Output_of o) in
+    b.ops <- { kind; step; inputs = [| a; c |]; output = out } :: b.ops;
+    b.n_op <- o + 1;
+    if step > b.max_step then b.max_step <- step;
+    Var out
+
+  let build b =
+    let variables = Array.of_list (List.rev b.vars) in
+    let operations = Array.of_list (List.rev b.ops) in
+    v ~inputs_at_start:b.b_inputs_at_start ~name:b.b_name
+      ~n_steps:(b.max_step + 1) variables operations
+
+  let build_exn b =
+    match build b with
+    | Ok g -> g
+    | Error errs ->
+        invalid_arg
+          (Printf.sprintf "Dfg.Builder.build_exn (%s): %s" b.b_name
+             (String.concat "; " errs))
+end
+
+let pp_operand g ppf = function
+  | Var v -> Format.pp_print_string ppf g.variables.(v).var_name
+  | Const c -> Format.fprintf ppf "#%d" c
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>dfg %s: %d steps, %d vars, %d ops" g.name g.n_steps
+    (n_vars g) (n_ops g);
+  Array.iteri
+    (fun o op ->
+      Format.fprintf ppf "@,  op%-3d @@%d  %s := %a %s %a" o op.step
+        g.variables.(op.output).var_name (pp_operand g) op.inputs.(0)
+        (Op_kind.symbol op.kind) (pp_operand g) op.inputs.(1))
+    g.operations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,120 @@
+(** Scheduled data flow graphs (DFGs).
+
+    Following Section 2 of the paper, a DFG here is {e already scheduled}:
+    every operation carries the control step in which it executes.  Control
+    steps are numbered [0 .. n_steps - 1]; clock (register) boundaries are
+    numbered [0 .. n_steps], boundary [t] being the instant at which step [t]
+    begins.  An operation at step [t] reads its input registers at boundary
+    [t] and writes its output register at boundary [t + 1].
+
+    Variables are integers [0 .. n_vars - 1]; operations are integers
+    [0 .. n_ops - 1].  The nomenclature of Section 2.1 maps as follows:
+    [Vo] = operation ids, [Vv] = variable ids, [Ei] = {!e_i},
+    [Eo] = {!e_o}, [T] = [0 .. n_steps], [C] = {!constants}. *)
+
+type operand =
+  | Var of int  (** a variable id *)
+  | Const of int  (** an immediate constant value *)
+
+type var_def =
+  | Primary_input  (** supplied by the environment *)
+  | Output_of of int  (** produced by the given operation *)
+
+type operation = {
+  kind : Op_kind.t;
+  step : int;  (** control step in which the operation executes *)
+  inputs : operand array;  (** indexed by input-port label [l] *)
+  output : int;  (** output variable id *)
+}
+
+type variable = { var_name : string; def : var_def }
+
+type t = private {
+  name : string;
+  n_steps : int;
+  inputs_at_start : bool;
+      (** lifetime convention for primary inputs: [false] = loaded just in
+          time for their first use (the convention of the paper's Fig. 1),
+          [true] = held in registers from boundary 0 (filter state) *)
+  variables : variable array;
+  operations : operation array;
+}
+
+(** {1 Construction} *)
+
+module Builder : sig
+  (** Imperative construction of a scheduled DFG.  Steps may be declared in
+      any order; {!build} validates the result. *)
+
+  type dfg := t
+  type t
+
+  val create : ?inputs_at_start:bool -> name:string -> unit -> t
+
+  val input : t -> string -> operand
+  (** Fresh primary-input variable. *)
+
+  val op :
+    ?name:string -> t -> Op_kind.t -> step:int -> operand -> operand ->
+    operand
+  (** [op b k ~step a c] adds a binary operation and returns its output
+      variable (named [name] if given). *)
+
+  val build : t -> (dfg, string list) result
+  (** Validates and freezes.  Errors are human-readable descriptions. *)
+
+  val build_exn : t -> dfg
+  (** @raise Invalid_argument listing all validation errors. *)
+end
+
+val v :
+  ?inputs_at_start:bool -> name:string -> n_steps:int -> variable array ->
+  operation array -> (t, string list) result
+(** Direct constructor with validation (used by the parser). *)
+
+(** {1 Accessors} *)
+
+val n_vars : t -> int
+val n_ops : t -> int
+val n_boundaries : t -> int
+(** [n_steps + 1]. *)
+
+val variable : t -> int -> variable
+val operation : t -> int -> operation
+
+val def_of : t -> int -> var_def
+(** Definition site of a variable. *)
+
+val uses_of : t -> int -> (int * int) list
+(** [uses_of g v] lists the [(o, l)] pairs such that variable [v] feeds input
+    port [l] of operation [o]; ordered by operation id. *)
+
+val e_i : t -> (int * int * int) list
+(** The set [Ei] of [(v, o, l)] input-edge triples (constants excluded). *)
+
+val e_o : t -> (int * int) list
+(** The set [Eo] of [(o, v)] output-edge pairs. *)
+
+val constants : t -> int list
+(** Distinct constant values appearing as operands, sorted. *)
+
+val const_edges : t -> (int * int * int) list
+(** [(c, o, l)] triples: constant value [c] feeds port [l] of operation
+    [o]. *)
+
+val ops_at_step : t -> int -> int list
+(** Operations scheduled at a given control step. *)
+
+val op_kinds : t -> Op_kind.t list
+(** Distinct operation kinds used, in order of first appearance. *)
+
+val primary_inputs : t -> int list
+val primary_outputs : t -> int list
+(** Variables never consumed by any operation. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary (one line per operation). *)
+
+val pp_operand : t -> Format.formatter -> operand -> unit

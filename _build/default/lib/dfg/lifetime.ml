@@ -1,0 +1,99 @@
+type t = {
+  dfg : Graph.t;
+  birth : int array;
+  death : int array;
+}
+
+let compute g =
+  let nv = Graph.n_vars g in
+  let birth = Array.make nv max_int and death = Array.make nv (-1) in
+  for v = 0 to nv - 1 do
+    (match Graph.def_of g v with
+    | Graph.Primary_input -> if g.Graph.inputs_at_start then birth.(v) <- 0
+    | Graph.Output_of o -> birth.(v) <- (Graph.operation g o).step + 1);
+    List.iter
+      (fun (o, _l) ->
+        let s = (Graph.operation g o).step in
+        if s < birth.(v) then birth.(v) <- s;
+        if s > death.(v) then death.(v) <- s)
+      (Graph.uses_of g v);
+    (match Graph.def_of g v with
+    | Graph.Primary_input -> if g.Graph.inputs_at_start then birth.(v) <- 0
+    | Graph.Output_of _ -> ());
+    (* Unused primary input: park it at boundary 0; unused op output dies at
+       its birth boundary. *)
+    if birth.(v) = max_int then birth.(v) <- 0;
+    if death.(v) < birth.(v) then death.(v) <- birth.(v)
+  done;
+  { dfg = g; birth; death }
+
+let interval lt v = (lt.birth.(v), lt.death.(v))
+let alive_at lt v t = lt.birth.(v) <= t && t <= lt.death.(v)
+
+let alive_on_boundary lt t =
+  let acc = ref [] in
+  for v = Array.length lt.birth - 1 downto 0 do
+    if alive_at lt v t then acc := v :: !acc
+  done;
+  !acc
+
+let compatible lt v w =
+  v = w || lt.death.(v) < lt.birth.(w) || lt.death.(w) < lt.birth.(v)
+
+let crossing lt t = List.length (alive_on_boundary lt t)
+
+let max_crossing lt =
+  let best = ref 0 in
+  for t = 0 to Graph.n_boundaries lt.dfg - 1 do
+    let c = crossing lt t in
+    if c > !best then best := c
+  done;
+  !best
+
+let min_registers = max_crossing
+
+let min_modules g kinds =
+  let kind_of_op op_kind =
+    match List.find_opt (fun fu -> Fu_kind.supports fu op_kind) kinds with
+    | Some fu -> fu
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Lifetime.min_modules: no unit supports %s"
+             (Op_kind.name op_kind))
+  in
+  let count fu step =
+    let n = ref 0 in
+    List.iter
+      (fun o ->
+        let op = Graph.operation g o in
+        if Fu_kind.equal (kind_of_op op.Graph.kind) fu then incr n)
+      (Graph.ops_at_step g step);
+    !n
+  in
+  List.map
+    (fun fu ->
+      let best = ref 0 in
+      for s = 0 to (Graph.n_boundaries g) - 2 do
+        let c = count fu s in
+        if c > !best then best := c
+      done;
+      (fu, !best))
+    kinds
+
+let conflict_cliques lt =
+  let cliques = ref [] in
+  for t = Graph.n_boundaries lt.dfg - 1 downto 0 do
+    let alive = alive_on_boundary lt t in
+    match alive with
+    | [] | [ _ ] -> ()
+    | _ -> cliques := alive :: !cliques
+  done;
+  !cliques
+
+let max_clique lt =
+  let best = ref [] in
+  for t = 0 to Graph.n_boundaries lt.dfg - 1 do
+    let alive = alive_on_boundary lt t in
+    if List.length alive > List.length !best then best := alive
+  done;
+  !best

@@ -1,0 +1,60 @@
+(** Variable lifetimes, compatibility and horizontal crossing (Section 2).
+
+    A variable occupies a register on every clock boundary of its lifetime
+    interval:
+
+    - a variable produced by an operation at step [s] is born at boundary
+      [s + 1];
+    - a primary input is born at the boundary of its earliest use (it is
+      loaded just in time, the convention under which the register assignment
+      of Fig. 1 — R0 = \{0,4\}, R1 = \{1,3,6\}, R2 = \{2,5,7\} — is valid);
+    - a variable dies at the boundary of its latest use; a variable with no
+      use (primary output) dies at its birth boundary.
+
+    Two variables that are simultaneously alive are {e incompatible} and must
+    be assigned to distinct registers.  The {e horizontal crossing} of a
+    boundary is the number of variables alive there; its maximum over all
+    boundaries is the minimum register count. *)
+
+type t
+(** Precomputed lifetime table for one DFG. *)
+
+val compute : Graph.t -> t
+
+val interval : t -> int -> int * int
+(** [interval lt v] is the inclusive boundary interval [(birth, death)]. *)
+
+val alive_at : t -> int -> int -> bool
+(** [alive_at lt v boundary]. *)
+
+val alive_on_boundary : t -> int -> int list
+(** Variables alive on a given boundary, ascending. *)
+
+val compatible : t -> int -> int -> bool
+(** [compatible lt v w] — disjoint lifetime intervals (or [v = w]). *)
+
+val crossing : t -> int -> int
+(** Horizontal crossing of a boundary. *)
+
+val max_crossing : t -> int
+
+val min_registers : t -> int
+(** Equal to {!max_crossing}: the minimum number of registers for any valid
+    register assignment. *)
+
+val min_modules : Graph.t -> Fu_kind.t list -> (Fu_kind.t * int) list
+(** [min_modules g kinds] assigns each operation kind of [g] to the first
+    unit kind in [kinds] supporting it and returns, for each unit kind, the
+    maximum number of concurrently scheduled operations it must serve (its
+    minimum allocation).  Raises [Invalid_argument] if some operation kind is
+    not supported by any unit kind. *)
+
+val conflict_cliques : t -> int list list
+(** For each boundary with at least two alive variables, the list of alive
+    variables — a clique of the conflict graph.  Used for register-capacity
+    constraints and symmetry reduction. *)
+
+val max_clique : t -> int list
+(** A maximum-cardinality set of pairwise-incompatible variables (one of the
+    boundary cliques of maximal crossing — exact for interval conflict
+    graphs). *)

@@ -1,0 +1,60 @@
+type t = Add | Sub | Mul | Lt | And | Or | Xor | Shl | Shr
+
+let all = [ Add; Sub; Mul; Lt; And; Or; Xor; Shl; Shr ]
+
+let arity = function
+  | Add | Sub | Mul | Lt | And | Or | Xor | Shl | Shr -> 2
+
+let commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | Lt | Shl | Shr -> false
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Lt -> "lt"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Lt -> "<"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let of_name s =
+  let rec find = function
+    | [] -> None
+    | k :: rest -> if String.equal (name k) s then Some k else find rest
+  in
+  find all
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let pp ppf k = Format.pp_print_string ppf (name k)
+
+let eval k ~width a b =
+  let mask = (1 lsl width) - 1 in
+  let a = a land mask and b = b land mask in
+  let raw =
+    match k with
+    | Add -> a + b
+    | Sub -> a - b
+    | Mul -> a * b
+    | Lt -> if a < b then 1 else 0
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Shl -> a lsl (b land (width - 1))
+    | Shr -> a lsr (b land (width - 1))
+  in
+  raw land mask

@@ -1,0 +1,43 @@
+(** Operation kinds appearing in data flow graphs.
+
+    The kinds cover the arithmetic/logic operations used by the DAC'99
+    benchmark circuits (tseng, paulin, fir6, iir3, dct4, wavelet6): additions,
+    subtractions, multiplications, comparisons and bitwise logic. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Lt   (** less-than comparison, as in the Paulin differential equation *)
+  | And
+  | Or
+  | Xor
+  | Shl  (** logical shift left by a constant amount *)
+  | Shr  (** logical shift right by a constant amount *)
+
+val all : t list
+
+val arity : t -> int
+(** Number of input ports. All supported kinds are binary. *)
+
+val commutative : t -> bool
+(** [commutative k] is [true] when the two input ports of [k] may be swapped
+    without changing the result (Eq. (3) of the paper applies to these). *)
+
+val name : t -> string
+(** Short lower-case mnemonic, e.g. ["add"], ["mul"]. *)
+
+val symbol : t -> string
+(** Infix symbol used in diagrams, e.g. ["+"], ["*"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val eval : t -> width:int -> int -> int -> int
+(** [eval k ~width a b] computes the operation on [width]-bit unsigned
+    operands, truncating the result to [width] bits (comparison yields 0/1).
+    Used by the data-path and gate-level simulators. *)

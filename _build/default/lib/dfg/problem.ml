@@ -1,0 +1,85 @@
+type t = { dfg : Graph.t; modules : Fu_kind.t array }
+
+let n_modules p = Array.length p.modules
+
+let candidates p o =
+  let kind = (Graph.operation p.dfg o).Graph.kind in
+  let acc = ref [] in
+  for m = n_modules p - 1 downto 0 do
+    if Fu_kind.supports p.modules.(m) kind then acc := m :: !acc
+  done;
+  !acc
+
+let candidate_ops p m =
+  let fu = p.modules.(m) in
+  let acc = ref [] in
+  for o = Graph.n_ops p.dfg - 1 downto 0 do
+    if Fu_kind.supports fu (Graph.operation p.dfg o).Graph.kind then
+      acc := o :: !acc
+  done;
+  !acc
+
+let min_registers p = Lifetime.min_registers (Lifetime.compute p.dfg)
+
+let make dfg kinds =
+  let p = { dfg; modules = Array.of_list kinds } in
+  let missing = ref [] in
+  for o = 0 to Graph.n_ops dfg - 1 do
+    if candidates p o = [] then missing := o :: !missing
+  done;
+  if !missing <> [] then
+    Error
+      (Printf.sprintf "no module supports operation(s) %s"
+         (String.concat ", " (List.map string_of_int !missing)))
+  else begin
+    (* Per-step feasibility: ops needing a kind-exclusive unit must not
+       outnumber the supporting modules.  With overlapping support sets this
+       is a conservative bipartite check via greedy matching. *)
+    let infeasible = ref None in
+    for s = 0 to dfg.Graph.n_steps - 1 do
+      let ops = Graph.ops_at_step dfg s in
+      let taken = Array.make (n_modules p) false in
+      let rec assign = function
+        | [] -> true
+        | o :: rest -> (
+            let free =
+              List.filter (fun m -> not taken.(m)) (candidates p o)
+            in
+            (* Ops are matched most-constrained-first below, so greedy
+               first-fit suffices for the allocations used here. *)
+            match free with
+            | [] -> false
+            | m :: _ ->
+                taken.(m) <- true;
+                assign rest)
+      in
+      let ordered =
+        List.sort
+          (fun a b ->
+            compare
+              (List.length (candidates p a))
+              (List.length (candidates p b)))
+          ops
+      in
+      if not (assign ordered) then
+        if !infeasible = None then infeasible := Some s
+    done;
+    match !infeasible with
+    | Some s ->
+        Error
+          (Printf.sprintf "step %d has more operations than modules of the \
+                           required kinds" s)
+    | None -> Ok p
+  end
+
+let make_exn dfg kinds =
+  match make dfg kinds with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Problem.make_exn: " ^ msg)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>%a@,modules:" Graph.pp p.dfg;
+  Array.iteri
+    (fun m fu -> Format.fprintf ppf " M%d=%a" m Fu_kind.pp fu)
+    p.modules;
+  Format.fprintf ppf "@]"

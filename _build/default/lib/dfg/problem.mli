@@ -1,0 +1,34 @@
+(** A BIST-synthesis problem instance: a scheduled DFG together with its
+    module allocation (Section 2: "the numbers of registers and modules to be
+    used for the synthesis of a DFG are known a priori").
+
+    The module list fixes how many functional units of each kind exist; the
+    synthesis methods bind operations to them.  The register count defaults
+    to the minimum (maximal horizontal crossing) but methods that add
+    registers (RALLOC, BITS sometimes do) may use more. *)
+
+type t = private {
+  dfg : Graph.t;
+  modules : Fu_kind.t array;  (** module [m] has kind [modules.(m)] *)
+}
+
+val make : Graph.t -> Fu_kind.t list -> (t, string) result
+(** Checks that every operation kind is supported by at least one module and
+    that the allocation admits a feasible binding (per step and unit kind,
+    enough modules for the scheduled operations — necessary and, for
+    kind-disjoint allocations, sufficient). *)
+
+val make_exn : Graph.t -> Fu_kind.t list -> t
+
+val n_modules : t -> int
+
+val candidates : t -> int -> int list
+(** [candidates p o] — modules whose kind supports operation [o]. *)
+
+val candidate_ops : t -> int -> int list
+(** [candidate_ops p m] — operations executable on module [m]. *)
+
+val min_registers : t -> int
+(** Maximal horizontal crossing of the DFG. *)
+
+val pp : Format.formatter -> t -> unit

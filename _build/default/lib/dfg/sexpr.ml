@@ -1,0 +1,109 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_string s =
+  let n = String.length s in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%d:%d: %s" !line !col msg))
+  in
+  let advance () =
+    (if !pos < n then
+       match s.[!pos] with
+       | '\n' ->
+           incr line;
+           col := 1
+       | _ -> incr col);
+    incr pos
+  in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\r' | '\n' ->
+          advance ();
+          skip_ws ()
+      | ';' ->
+          while !pos < n && s.[!pos] <> '\n' do
+            advance ()
+          done;
+          skip_ws ()
+      | _ -> ()
+  in
+  let is_atom_char c =
+    match c with
+    | ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' -> false
+    | _ -> true
+  in
+  let rec parse_one () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input"
+    else
+      match s.[!pos] with
+      | '(' ->
+          advance ();
+          let items = ref [] in
+          let rec loop () =
+            skip_ws ();
+            if !pos >= n then fail "unclosed '('"
+            else if s.[!pos] = ')' then advance ()
+            else begin
+              items := parse_one () :: !items;
+              loop ()
+            end
+          in
+          loop ();
+          List (List.rev !items)
+      | ')' -> fail "unexpected ')'"
+      | _ ->
+          let start = !pos in
+          while !pos < n && is_atom_char s.[!pos] do
+            advance ()
+          done;
+          Atom (String.sub s start (!pos - start))
+  in
+  try
+    let acc = ref [] in
+    let rec loop () =
+      skip_ws ();
+      if !pos < n then begin
+        acc := parse_one () :: !acc;
+        loop ()
+      end
+    in
+    loop ();
+    Ok (List.rev !acc)
+  with Parse_error msg -> Error msg
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | List items ->
+      Format.fprintf ppf "@[<hov 1>(%a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items
+
+let to_string t = Format.asprintf "%a" pp t
+
+let atom = function
+  | Atom a -> Ok a
+  | List _ as l -> Error (Printf.sprintf "expected atom, got %s" (to_string l))
+
+let int_atom t =
+  match atom t with
+  | Error _ as e -> e
+  | Ok a -> (
+      match int_of_string_opt a with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "expected integer, got %S" a))
+
+let assoc_opt key items =
+  List.find_map
+    (function
+      | List (Atom k :: tail) when String.equal k key -> Some tail
+      | Atom _ | List _ -> None)
+    items
+
+let assoc key items =
+  match assoc_opt key items with
+  | Some tail -> Ok tail
+  | None -> Error (Printf.sprintf "missing (%s ...) entry" key)

@@ -1,0 +1,26 @@
+(** Minimal s-expression reader/printer used by the textual DFG format.
+
+    Grammar: atoms are runs of non-whitespace, non-parenthesis characters;
+    lists are parenthesised; [;] starts a comment to end of line. *)
+
+type t = Atom of string | List of t list
+
+val parse_string : string -> (t list, string) result
+(** Parses a sequence of top-level s-expressions. The error message carries
+    line/column information. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with indentation. *)
+
+(** {1 Decoding helpers} *)
+
+val atom : t -> (string, string) result
+val int_atom : t -> (int, string) result
+
+val assoc : string -> t list -> (t list, string) result
+(** [assoc key items] finds the list [(key ...)] among [items] and returns
+    its tail. *)
+
+val assoc_opt : string -> t list -> t list option

@@ -1,0 +1,1 @@
+lib/hls/allocate.ml: Array Dfg Kernel List Printf Schedule

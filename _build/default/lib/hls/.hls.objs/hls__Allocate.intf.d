@@ -1,0 +1,1 @@
+lib/hls/allocate.mli: Dfg Kernel

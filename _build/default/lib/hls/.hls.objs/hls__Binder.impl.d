@@ -1,0 +1,1 @@
+lib/hls/binder.ml: Array Dfg Hashtbl List Printf

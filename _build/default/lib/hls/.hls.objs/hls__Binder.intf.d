@@ -1,0 +1,1 @@
+lib/hls/binder.mli: Dfg

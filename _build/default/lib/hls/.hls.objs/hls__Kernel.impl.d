@@ -1,0 +1,1 @@
+lib/hls/kernel.ml: Array Dfg Hashtbl List Printf

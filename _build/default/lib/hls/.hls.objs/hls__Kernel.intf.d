@@ -1,0 +1,1 @@
+lib/hls/kernel.mli: Dfg

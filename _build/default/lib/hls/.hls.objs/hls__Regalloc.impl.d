@@ -1,0 +1,1 @@
+lib/hls/regalloc.ml: Array Dfg Fun List Printf

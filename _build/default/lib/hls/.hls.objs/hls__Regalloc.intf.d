@@ -1,0 +1,1 @@
+lib/hls/regalloc.mli: Dfg

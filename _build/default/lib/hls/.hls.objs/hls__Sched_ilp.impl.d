@@ -1,0 +1,1 @@
+lib/hls/sched_ilp.ml: Array Dfg Fun Ilp Kernel List Option Printf Result Schedule

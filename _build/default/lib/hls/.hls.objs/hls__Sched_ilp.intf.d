@@ -1,0 +1,1 @@
+lib/hls/sched_ilp.mli: Dfg Kernel

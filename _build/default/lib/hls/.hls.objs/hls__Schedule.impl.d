@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Dfg Fun Hashtbl Kernel List Printf String

@@ -1,0 +1,84 @@
+let default_class = function
+  | Dfg.Op_kind.Mul -> Dfg.Fu_kind.multiplier
+  | Dfg.Op_kind.Shl | Dfg.Op_kind.Shr -> Dfg.Fu_kind.shifter
+  | Dfg.Op_kind.And | Dfg.Op_kind.Or | Dfg.Op_kind.Xor -> Dfg.Fu_kind.logic
+  | Dfg.Op_kind.Add | Dfg.Op_kind.Sub | Dfg.Op_kind.Lt -> Dfg.Fu_kind.alu
+
+let required_classes (k : Kernel.t) =
+  Array.fold_left
+    (fun acc node ->
+      let fu = default_class node.Kernel.kind in
+      if List.exists (Dfg.Fu_kind.equal fu) acc then acc else acc @ [ fu ])
+    [] k.Kernel.nodes
+
+type point = {
+  counts : (Dfg.Fu_kind.t * int) list;
+  total_units : int;
+  latency : int;
+  problem : Dfg.Problem.t;
+}
+
+let explore ?classes ?(max_per_class = 3) ?inputs_at_start (k : Kernel.t) =
+  let classes =
+    match classes with Some c -> c | None -> required_classes k
+  in
+  (* enumerate count vectors *)
+  let rec vectors = function
+    | [] -> [ [] ]
+    | fu :: rest ->
+        let tails = vectors rest in
+        List.concat_map
+          (fun n -> List.map (fun tail -> (fu, n) :: tail) tails)
+          (List.init max_per_class (fun i -> i + 1))
+  in
+  let points =
+    List.filter_map
+      (fun counts ->
+        let modules =
+          List.concat_map (fun (fu, n) -> List.init n (fun _ -> fu)) counts
+        in
+        match Schedule.list_schedule ?inputs_at_start k ~modules with
+        | Error _ -> None
+        | Ok problem ->
+            Some
+              {
+                counts;
+                total_units = List.fold_left (fun a (_, n) -> a + n) 0 counts;
+                latency = problem.Dfg.Problem.dfg.Dfg.Graph.n_steps;
+                problem;
+              })
+      (vectors classes)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.total_units b.total_units with
+      | 0 -> compare a.latency b.latency
+      | c -> c)
+    points
+
+let pareto points =
+  List.filter
+    (fun p ->
+      not
+        (List.exists
+           (fun q ->
+             q != p
+             && q.total_units <= p.total_units
+             && q.latency <= p.latency
+             && (q.total_units < p.total_units || q.latency < p.latency))
+           points))
+    points
+
+let cheapest_for_latency ?classes ?max_per_class ?inputs_at_start k ~latency =
+  let candidates =
+    List.filter
+      (fun p -> p.latency <= latency)
+      (explore ?classes ?max_per_class ?inputs_at_start k)
+  in
+  match candidates with
+  | p :: _ -> Ok p
+  | [] ->
+      Error
+        (Printf.sprintf
+           "no allocation meets latency %d (critical path is %d)" latency
+           (Schedule.critical_path k))

@@ -1,0 +1,37 @@
+(** Module-allocation exploration.
+
+    The paper assumes the module allocation is "known a priori" (Section 2);
+    in practice it comes from a latency/resource trade-off.  This module
+    makes that step explicit: enumerate candidate allocations over the unit
+    classes a kernel needs, schedule each with the list scheduler, and
+    report the (total units, latency) Pareto front.
+
+    Unit-class requirements are derived from the operation kinds present;
+    the caller chooses which {!Dfg.Fu_kind.t} serves each kind (e.g. an
+    [alu] for add/sub/compare or a dedicated [adder]). *)
+
+val required_classes : Kernel.t -> Dfg.Fu_kind.t list
+(** One default unit class per operation kind present: multiplier for
+    [Mul], shifter for shifts, logic for bitwise kinds, alu otherwise
+    (deduplicated, in first-appearance order). *)
+
+type point = {
+  counts : (Dfg.Fu_kind.t * int) list;  (** units per class *)
+  total_units : int;
+  latency : int;  (** steps achieved by the list scheduler *)
+  problem : Dfg.Problem.t;
+}
+
+val explore :
+  ?classes:Dfg.Fu_kind.t list -> ?max_per_class:int -> ?inputs_at_start:bool ->
+  Kernel.t -> point list
+(** All allocations with 1..[max_per_class] (default 3) units per class,
+    scheduled; sorted by total units then latency. *)
+
+val pareto : point list -> point list
+(** Keep points not dominated on (total units, latency). *)
+
+val cheapest_for_latency :
+  ?classes:Dfg.Fu_kind.t list -> ?max_per_class:int -> ?inputs_at_start:bool ->
+  Kernel.t -> latency:int -> (point, string) result
+(** Fewest total units whose schedule meets the latency bound. *)

@@ -1,0 +1,63 @@
+let bind (p : Dfg.Problem.t) =
+  let g = p.Dfg.Problem.dfg in
+  let module_of_op = Array.make (Dfg.Graph.n_ops g) (-1) in
+  let failed = ref None in
+  for s = 0 to g.Dfg.Graph.n_steps - 1 do
+    let taken = Array.make (Dfg.Problem.n_modules p) false in
+    (* Most-constrained operations first. *)
+    let ops =
+      List.sort
+        (fun a b ->
+          compare
+            (List.length (Dfg.Problem.candidates p a))
+            (List.length (Dfg.Problem.candidates p b)))
+        (Dfg.Graph.ops_at_step g s)
+    in
+    List.iter
+      (fun o ->
+        let free =
+          List.filter (fun m -> not taken.(m)) (Dfg.Problem.candidates p o)
+        in
+        match free with
+        | [] -> if !failed = None then failed := Some (o, s)
+        | m :: _ ->
+            module_of_op.(o) <- m;
+            taken.(m) <- true)
+      ops
+  done;
+  match !failed with
+  | Some (o, s) ->
+      Error (Printf.sprintf "no free module for op %d at step %d" o s)
+  | None -> Ok module_of_op
+
+let check (p : Dfg.Problem.t) module_of_op =
+  let g = p.Dfg.Problem.dfg in
+  let err = ref None in
+  Array.iteri
+    (fun o m ->
+      if m < 0 || m >= Dfg.Problem.n_modules p then begin
+        if !err = None then err := Some (Printf.sprintf "op %d unbound" o)
+      end
+      else if
+        not
+          (Dfg.Fu_kind.supports
+             p.Dfg.Problem.modules.(m)
+             (Dfg.Graph.operation g o).Dfg.Graph.kind)
+      then
+        if !err = None then
+          err := Some (Printf.sprintf "op %d bound to unsupporting module %d" o m))
+    module_of_op;
+  for s = 0 to g.Dfg.Graph.n_steps - 1 do
+    let seen = Hashtbl.create 7 in
+    List.iter
+      (fun o ->
+        let m = module_of_op.(o) in
+        if Hashtbl.mem seen m then begin
+          if !err = None then
+            err :=
+              Some (Printf.sprintf "module %d double-booked at step %d" m s)
+        end
+        else Hashtbl.add seen m ())
+      (Dfg.Graph.ops_at_step g s)
+  done;
+  match !err with None -> Ok () | Some msg -> Error msg

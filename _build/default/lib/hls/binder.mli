@@ -1,0 +1,13 @@
+(** Greedy operation-to-module binding.
+
+    For each control step, scheduled operations are matched to supporting
+    modules, preferring the module that already executes operations with the
+    same source registers (to limit multiplexer growth).  Used by the
+    heuristic baselines; the exact engines bind inside the optimization. *)
+
+val bind : Dfg.Problem.t -> (int array, string) result
+(** [bind p] returns [module_of_op]. *)
+
+val check : Dfg.Problem.t -> int array -> (unit, string) result
+(** Verifies kind support and that no module runs two operations in the same
+    control step. *)

@@ -1,0 +1,205 @@
+type arg = Input of string | Const of int | Ref of int
+type node = { kind : Dfg.Op_kind.t; a : arg; b : arg }
+
+type t = {
+  kname : string;
+  nodes : node array;
+  outputs : (string * int) list;
+}
+
+module Build = struct
+  type operand = arg
+
+  type t = {
+    name : string;
+    mutable nodes : node list;  (* reversed *)
+    mutable count : int;
+    cse : (Dfg.Op_kind.t * arg * arg, int) Hashtbl.t;
+    mutable outs : (string * int) list;  (* reversed *)
+  }
+
+  let create name = { name; nodes = []; count = 0; cse = Hashtbl.create 97; outs = [] }
+  let input _b name = Input name
+  let const _b c = Const c
+
+  (* Commutative operands are normalized with constants last (the
+     conventional coefficient port), then structurally. *)
+  let op b kind x y =
+    let rank = function Const _ -> 1 | Input _ | Ref _ -> 0 in
+    let x, y =
+      if
+        Dfg.Op_kind.commutative kind
+        && compare (rank y, y) (rank x, x) < 0
+      then (y, x)
+      else (x, y)
+    in
+    match Hashtbl.find_opt b.cse (kind, x, y) with
+    | Some i -> Ref i
+    | None ->
+        let i = b.count in
+        b.nodes <- { kind; a = x; b = y } :: b.nodes;
+        b.count <- i + 1;
+        Hashtbl.add b.cse (kind, x, y) i;
+        Ref i
+
+  let add b = op b Dfg.Op_kind.Add
+  let sub b = op b Dfg.Op_kind.Sub
+  let mul b = op b Dfg.Op_kind.Mul
+
+  let output b name = function
+    | Ref i -> b.outs <- (name, i) :: b.outs
+    | Input _ | Const _ ->
+        invalid_arg "Kernel.Build.output: output must be an operation result"
+
+  let finish b =
+    {
+      kname = b.name;
+      nodes = Array.of_list (List.rev b.nodes);
+      outputs = List.rev b.outs;
+    }
+end
+
+let n_ops k = Array.length k.nodes
+
+let op_count k kind =
+  Array.fold_left
+    (fun acc n -> if Dfg.Op_kind.equal n.kind kind then acc + 1 else acc)
+    0 k.nodes
+
+(* Symmetric 7-tap FIR: y = c0(x0+x6) + c1(x1+x5) + c2(x2+x4) + c3*x3. *)
+let fir6 =
+  let b = Build.create "fir6" in
+  let x = Array.init 7 (fun i -> Build.input b (Printf.sprintf "x%d" i)) in
+  let c = [| 3; 7; 11; 13 |] in
+  let p0 = Build.add b x.(0) x.(6) in
+  let p1 = Build.add b x.(1) x.(5) in
+  let p2 = Build.add b x.(2) x.(4) in
+  let m0 = Build.mul b p0 (Build.const b c.(0)) in
+  let m1 = Build.mul b p1 (Build.const b c.(1)) in
+  let m2 = Build.mul b p2 (Build.const b c.(2)) in
+  let m3 = Build.mul b x.(3) (Build.const b c.(3)) in
+  let s0 = Build.add b m0 m1 in
+  let s1 = Build.add b m2 m3 in
+  let y = Build.add b s0 s1 in
+  Build.output b "y" y;
+  Build.finish b
+
+(* 3rd-order IIR, direct form II: one delay line w1..w3 shared between the
+   recursive and the forward part.
+     w = x - a1*w1 - a2*w2 - a3*w3
+     y = b0*w + b1*w1 + b2*w2 + b3*w3 *)
+let iir3 =
+  let b = Build.create "iir3" in
+  let x = Build.input b "x" in
+  let w1 = Build.input b "w1" and w2 = Build.input b "w2" in
+  let w3 = Build.input b "w3" in
+  let m1 = Build.mul b w1 (Build.const b 6) in
+  let m2 = Build.mul b w2 (Build.const b 4) in
+  let m3 = Build.mul b w3 (Build.const b 2) in
+  let w = Build.sub b (Build.sub b (Build.sub b x m1) m2) m3 in
+  let n0 = Build.mul b w (Build.const b 5) in
+  let n1 = Build.mul b w1 (Build.const b 9) in
+  let n2 = Build.mul b w2 (Build.const b 9) in
+  let n3 = Build.mul b w3 (Build.const b 5) in
+  let y = Build.add b (Build.add b n0 n1) (Build.add b n2 n3) in
+  Build.output b "w" w;
+  Build.output b "y" y;
+  Build.finish b
+
+(* 4-point DCT, even/odd butterfly decomposition. *)
+let dct4 =
+  let b = Build.create "dct4" in
+  let x = Array.init 4 (fun i -> Build.input b (Printf.sprintf "x%d" i)) in
+  let c4 = Build.const b 11 and c1 = Build.const b 15 and c3 = Build.const b 6 in
+  let s0 = Build.add b x.(0) x.(3) in
+  let s1 = Build.add b x.(1) x.(2) in
+  let d0 = Build.sub b x.(0) x.(3) in
+  let d1 = Build.sub b x.(1) x.(2) in
+  let y0 = Build.mul b (Build.add b s0 s1) c4 in
+  let y2 = Build.mul b (Build.sub b s0 s1) c4 in
+  let y1 = Build.add b (Build.mul b d0 c1) (Build.mul b d1 c3) in
+  let y3 = Build.sub b (Build.mul b d0 c3) (Build.mul b d1 c1) in
+  Build.output b "y0" y0;
+  Build.output b "y1" y1;
+  Build.output b "y2" y2;
+  Build.output b "y3" y3;
+  Build.finish b
+
+(* 6-tap orthogonal wavelet analysis: low-pass h, high-pass g with the
+   quadrature-mirror relation g_i = (-1)^i h_{5-i}; the shared products
+   x_i * h_j are CSE-shared between the two outputs where they coincide. *)
+let wavelet6 =
+  let b = Build.create "wavelet6" in
+  let x = Array.init 6 (fun i -> Build.input b (Printf.sprintf "x%d" i)) in
+  let h = [| 5; 12; 14; 8; 3; 1 |] in
+  let lo =
+    let ms = Array.to_list (Array.mapi (fun i xi -> Build.mul b xi (Build.const b h.(i))) x) in
+    match ms with
+    | m0 :: m1 :: m2 :: m3 :: m4 :: m5 :: [] ->
+        let a0 = Build.add b m0 m1 in
+        let a1 = Build.add b m2 m3 in
+        let a2 = Build.add b m4 m5 in
+        Build.add b (Build.add b a0 a1) a2
+    | _ -> assert false
+  in
+  let hi =
+    (* g = [h5, -h4, h3, -h2, h1, -h0] *)
+    let m0 = Build.mul b x.(0) (Build.const b h.(5)) in
+    let m1 = Build.mul b x.(1) (Build.const b h.(4)) in
+    let m2 = Build.mul b x.(2) (Build.const b h.(3)) in
+    let m3 = Build.mul b x.(3) (Build.const b h.(2)) in
+    let m4 = Build.mul b x.(4) (Build.const b h.(1)) in
+    let m5 = Build.mul b x.(5) (Build.const b h.(0)) in
+    let p = Build.add b (Build.add b m0 m2) m4 in
+    let n = Build.add b (Build.add b m1 m3) m5 in
+    Build.sub b p n
+  in
+  Build.output b "lo" lo;
+  Build.output b "hi" hi;
+  Build.finish b
+
+(* Fifth-order elliptic wave filter (the classic HLS stress benchmark):
+   a long dependence chain of additions and constant multiplications.
+   Not part of the paper's evaluation; used here to exercise
+   scalability. *)
+let ewf =
+  let b = Build.create "ewf" in
+  let inp = Build.input b "inp" in
+  let sv = Array.init 7 (fun i -> Build.input b (Printf.sprintf "sv%d" i)) in
+  let cst v = Build.const b v in
+  (* The add/mul structure follows the standard EWF data-flow graph; exact
+     coefficient values are placeholders (they do not affect synthesis). *)
+  let a1 = Build.add b inp sv.(0) in
+  let a2 = Build.add b a1 sv.(1) in
+  let m1 = Build.mul b a2 (cst 3) in
+  let a3 = Build.add b m1 sv.(1) in
+  let a4 = Build.add b a3 sv.(2) in
+  let m2 = Build.mul b a4 (cst 5) in
+  let a5 = Build.add b m2 a2 in
+  let a6 = Build.add b a5 sv.(2) in
+  let m3 = Build.mul b a6 (cst 7) in
+  let a7 = Build.add b m3 a4 in
+  let a8 = Build.add b a7 sv.(3) in
+  let a9 = Build.add b a8 sv.(4) in
+  let m4 = Build.mul b a9 (cst 9) in
+  let a10 = Build.add b m4 a6 in
+  let a11 = Build.add b a10 sv.(4) in
+  let m5 = Build.mul b a11 (cst 11) in
+  let a12 = Build.add b m5 a9 in
+  let a13 = Build.add b a12 sv.(5) in
+  let m6 = Build.mul b a13 (cst 13) in
+  let a14 = Build.add b m6 a11 in
+  let a15 = Build.add b a14 sv.(6) in
+  let m7 = Build.mul b a15 (cst 15) in
+  let a16 = Build.add b m7 a13 in
+  let m8 = Build.mul b a16 (cst 2) in
+  let a17 = Build.add b m8 a15 in
+  let out = Build.add b a17 a16 in
+  Build.output b "out" out;
+  Build.output b "nsv0" a2;
+  Build.output b "nsv1" a5;
+  Build.output b "nsv2" a10;
+  Build.output b "nsv3" a12;
+  Build.output b "nsv4" a14;
+  Build.output b "nsv5" a17;
+  Build.finish b

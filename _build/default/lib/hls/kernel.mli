@@ -1,0 +1,68 @@
+(** Unscheduled data-flow descriptions of DSP kernels.
+
+    The paper synthesized its fir6/iir3/dct4/wavelet6 circuits with HYPER;
+    this module plays HYPER's front-end role: it turns a signal-processing
+    kernel into a data-flow of binary operations (with common-subexpression
+    sharing), which {!Schedule} then maps onto control steps. *)
+
+type arg =
+  | Input of string
+  | Const of int
+  | Ref of int  (** result of an earlier node *)
+
+type node = { kind : Dfg.Op_kind.t; a : arg; b : arg }
+
+type t = {
+  kname : string;
+  nodes : node array;  (** in topological order: [Ref i] only with [i] < index *)
+  outputs : (string * int) list;  (** named output nodes *)
+}
+
+(** {1 Expression builder} *)
+
+module Build : sig
+  type kernel := t
+  type t
+  type operand
+
+  val create : string -> t
+  val input : t -> string -> operand
+  val const : t -> int -> operand
+
+  val op : t -> Dfg.Op_kind.t -> operand -> operand -> operand
+  (** Hash-consed: identical (kind, a, b) triples share one node;
+      commutative kinds are normalized before consing. *)
+
+  val add : t -> operand -> operand -> operand
+  val sub : t -> operand -> operand -> operand
+  val mul : t -> operand -> operand -> operand
+  val output : t -> string -> operand -> unit
+  val finish : t -> kernel
+end
+
+val n_ops : t -> int
+val op_count : t -> Dfg.Op_kind.t -> int
+
+(** {1 The paper's HYPER-synthesized circuits (reconstructions)} *)
+
+val fir6 : t
+(** 6th-order (7-tap) symmetric FIR filter: 4 multiplications (coefficient
+    constants) and 6 additions. *)
+
+val iir3 : t
+(** 3rd-order IIR filter, direct form II (shared delay line):
+    7 multiplications, 6 add/sub. *)
+
+val dct4 : t
+(** 4-point DCT via the even/odd butterfly decomposition: 6 multiplications,
+    8 add/sub. *)
+
+val wavelet6 : t
+(** 6-tap orthogonal wavelet analysis stage (low-pass and high-pass outputs
+    from the same 6 samples, quadrature-mirror coefficients). *)
+
+val ewf : t
+(** Fifth-order elliptic wave filter — the classic HLS stress benchmark
+    (18 additions + 8 constant multiplications after common-subexpression
+    sharing).  Not in the paper's evaluation; used for scalability
+    experiments. *)

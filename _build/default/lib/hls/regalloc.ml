@@ -1,0 +1,55 @@
+let allocate g =
+  let lt = Dfg.Lifetime.compute g in
+  let nv = Dfg.Graph.n_vars g in
+  let order =
+    List.sort
+      (fun v w ->
+        let bv, dv = Dfg.Lifetime.interval lt v in
+        let bw, dw = Dfg.Lifetime.interval lt w in
+        match compare bv bw with 0 -> compare dv dw | c -> c)
+      (List.init nv Fun.id)
+  in
+  let reg_of_var = Array.make nv (-1) in
+  let reg_last_death = ref [] in
+  (* reg_last_death: (reg, death) in register order *)
+  let n_regs = ref 0 in
+  List.iter
+    (fun v ->
+      let birth, death = Dfg.Lifetime.interval lt v in
+      let rec find = function
+        | [] ->
+            let r = !n_regs in
+            incr n_regs;
+            reg_last_death := !reg_last_death @ [ (r, death) ];
+            r
+        | (r, d) :: _ when d < birth ->
+            reg_last_death :=
+              List.map (fun (r', d') -> if r' = r then (r, death) else (r', d'))
+                !reg_last_death;
+            r
+        | _ :: rest -> find rest
+      in
+      reg_of_var.(v) <- find !reg_last_death)
+    order;
+  reg_of_var
+
+let n_registers reg_of_var = 1 + Array.fold_left max (-1) reg_of_var
+
+let check g reg_of_var =
+  let lt = Dfg.Lifetime.compute g in
+  let nv = Dfg.Graph.n_vars g in
+  let conflict = ref None in
+  for v = 0 to nv - 1 do
+    for w = v + 1 to nv - 1 do
+      if
+        reg_of_var.(v) = reg_of_var.(w)
+        && not (Dfg.Lifetime.compatible lt v w)
+      then if !conflict = None then conflict := Some (v, w)
+    done
+  done;
+  match !conflict with
+  | None -> Ok ()
+  | Some (v, w) ->
+      Error
+        (Printf.sprintf "variables %d and %d overlap but share register %d" v
+           w reg_of_var.(v))

@@ -1,0 +1,19 @@
+(** Left-edge register allocation.
+
+    The classic interval-graph colouring: sort variables by birth boundary
+    and greedily pack each into the first register whose current occupant
+    died earlier.  For interval conflict graphs this uses exactly
+    the minimum number of registers (the maximal horizontal crossing).
+
+    Used by the heuristic baselines and as a warm start for the exact ILP
+    engines. *)
+
+val allocate : Dfg.Graph.t -> int array
+(** [allocate g] returns [reg_of_var]; registers are numbered from 0 and
+    number exactly [Dfg.Lifetime.min_registers]. *)
+
+val n_registers : int array -> int
+(** Number of distinct registers in an assignment ([max + 1]). *)
+
+val check : Dfg.Graph.t -> int array -> (unit, string) result
+(** Verifies that no two incompatible variables share a register. *)

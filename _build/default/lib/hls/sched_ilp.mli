@@ -1,0 +1,29 @@
+(** Exact resource-constrained scheduling as a 0-1 ILP.
+
+    The paper assumes scheduling is done before BIST synthesis and cites the
+    ILP scheduling lineage (Hafer-Parker [7], Gebotys-Elmasry [8]); this
+    module closes that loop with the classic time-indexed formulation:
+
+    - binaries [x_{o,t}] over each operation's mobility window,
+    - assignment [sum_t x_{o,t} = 1],
+    - precedence [start(o) >= start(o') + 1] via start-time expressions,
+    - per-step resource bounds per unit class.
+
+    Minimal latency is found by solving feasibility for L = critical path,
+    L+1, ... (each a small ILP solved by {!Ilp.Solver}); optimality of the
+    returned latency is exact, making this the oracle against which the
+    heuristic list scheduler is tested. *)
+
+val feasible :
+  ?time_limit:float -> ?inputs_at_start:bool -> Kernel.t ->
+  modules:Dfg.Fu_kind.t list -> latency:int ->
+  (Dfg.Problem.t option, string) result
+(** [Ok None] = proven infeasible at this latency; [Ok (Some p)] = a valid
+    schedule packaged as a problem instance; [Error] = solver limit hit
+    before a proof (or an unsupported operation kind). *)
+
+val min_latency :
+  ?time_limit:float -> ?inputs_at_start:bool -> Kernel.t ->
+  modules:Dfg.Fu_kind.t list -> (Dfg.Problem.t, string) result
+(** The shortest-latency schedule under the given allocation.
+    [time_limit] applies per candidate latency (default 10 s). *)

@@ -1,0 +1,194 @@
+let preds (k : Kernel.t) i =
+  let n = k.Kernel.nodes.(i) in
+  let of_arg = function Kernel.Ref j -> Some j | Kernel.Input _ | Kernel.Const _ -> None in
+  List.filter_map of_arg [ n.Kernel.a; n.Kernel.b ]
+
+let succs (k : Kernel.t) =
+  let n = Kernel.n_ops k in
+  let out = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> out.(j) <- i :: out.(j)) (preds k i)
+  done;
+  out
+
+let asap k =
+  let n = Kernel.n_ops k in
+  let t = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> t.(i) <- max t.(i) (t.(j) + 1)) (preds k i)
+  done;
+  t
+
+let critical_path k =
+  let t = asap k in
+  1 + Array.fold_left max (-1) t
+
+let alap k ~latency =
+  let cp = critical_path k in
+  if latency < cp then
+    invalid_arg
+      (Printf.sprintf "Schedule.alap: latency %d < critical path %d" latency cp);
+  let n = Kernel.n_ops k in
+  let t = Array.make n (latency - 1) in
+  let out = succs k in
+  for i = n - 1 downto 0 do
+    List.iter (fun j -> t.(i) <- min t.(i) (t.(j) - 1)) out.(i)
+  done;
+  t
+
+(* Downstream height (longest chain of dependents), for list priority. *)
+let height k =
+  let n = Kernel.n_ops k in
+  let out = succs k in
+  let h = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    List.iter (fun j -> h.(i) <- max h.(i) (h.(j) + 1)) out.(i)
+  done;
+  h
+
+let module_class kinds op_kind =
+  (* index of the first unit kind supporting the op kind *)
+  let rec go idx = function
+    | [] -> None
+    | fu :: rest ->
+        if Dfg.Fu_kind.supports fu op_kind then Some idx else go (idx + 1) rest
+  in
+  go 0 kinds
+
+(* Number of operands of node [i] for which this is the last remaining use,
+   given which nodes are already scheduled: used by the pressure-aware
+   priority to prefer operations that free registers. *)
+let kills (k : Kernel.t) step i =
+  let n = Kernel.n_ops k in
+  let last_use arg =
+    match arg with
+    | Kernel.Const _ -> false
+    | Kernel.Input _ | Kernel.Ref _ ->
+        (* no other unscheduled node shares this operand *)
+        let shares j =
+          j <> i && step.(j) < 0
+          && (k.Kernel.nodes.(j).Kernel.a = arg
+             || k.Kernel.nodes.(j).Kernel.b = arg)
+        in
+        let rec any j = j < n && (shares j || any (j + 1)) in
+        not (any 0)
+  in
+  (if last_use k.Kernel.nodes.(i).Kernel.a then 1 else 0)
+  + (if last_use k.Kernel.nodes.(i).Kernel.b then 1 else 0)
+
+let rec list_schedule ?latency ?(inputs_at_start = false)
+    ?(minimize_pressure = false) (k : Kernel.t) ~modules =
+  let n = Kernel.n_ops k in
+  (* Distinct unit kinds with capacities. *)
+  let kinds =
+    List.fold_left
+      (fun acc fu ->
+        if List.exists (fun (g, _) -> Dfg.Fu_kind.equal g fu) acc then
+          List.map
+            (fun (g, c) -> if Dfg.Fu_kind.equal g fu then (g, c + 1) else (g, c))
+            acc
+        else acc @ [ (fu, 1) ])
+      [] modules
+  in
+  let kind_list = List.map fst kinds in
+  let capacity = Array.of_list (List.map snd kinds) in
+  let cls = Array.make n (-1) in
+  let unsupported = ref [] in
+  for i = 0 to n - 1 do
+    match module_class kind_list k.Kernel.nodes.(i).Kernel.kind with
+    | Some c -> cls.(i) <- c
+    | None -> unsupported := i :: !unsupported
+  done;
+  if !unsupported <> [] then
+    Error
+      (Printf.sprintf "no module kind supports node(s) %s"
+         (String.concat ", " (List.map string_of_int !unsupported)))
+  else begin
+    let h = height k in
+    let pref_alap =
+      match latency with
+      | Some l when l >= critical_path k -> alap k ~latency:l
+      | Some _ | None -> Array.make n max_int
+    in
+    let step = Array.make n (-1) in
+    let scheduled = ref 0 in
+    let t = ref 0 in
+    while !scheduled < n do
+      let used = Array.make (Array.length capacity) 0 in
+      let ready =
+        List.filter
+          (fun i ->
+            step.(i) < 0
+            && List.for_all (fun j -> step.(j) >= 0 && step.(j) < !t) (preds k i))
+          (List.init n Fun.id)
+      in
+      (* Least ALAP (most urgent), then greatest height. *)
+      let ordered =
+        if minimize_pressure then
+          List.sort
+            (fun a b ->
+              match compare (kills k step b) (kills k step a) with
+              | 0 -> compare h.(b) h.(a)
+              | c -> c)
+            ready
+        else
+          List.sort
+            (fun a b ->
+              match compare pref_alap.(a) pref_alap.(b) with
+              | 0 -> compare h.(b) h.(a)
+              | c -> c)
+            ready
+      in
+      List.iter
+        (fun i ->
+          let c = cls.(i) in
+          if used.(c) < capacity.(c) then begin
+            step.(i) <- !t;
+            used.(c) <- used.(c) + 1;
+            incr scheduled
+          end)
+        ordered;
+      incr t
+    done;
+    of_steps ~inputs_at_start k ~steps:step ~modules
+  end
+
+and of_steps ?(inputs_at_start = false) (k : Kernel.t) ~steps ~modules =
+  let n = Kernel.n_ops k in
+  if Array.length steps <> n then Error "of_steps: wrong step count"
+  else begin
+    let step = steps in
+    (* Emit the scheduled DFG. *)
+    let b = Dfg.Graph.Builder.create ~inputs_at_start ~name:k.Kernel.kname () in
+    let inputs = Hashtbl.create 17 in
+    let arg_operand results = function
+      | Kernel.Input name -> (
+          match Hashtbl.find_opt inputs name with
+          | Some v -> v
+          | None ->
+              let v = Dfg.Graph.Builder.input b name in
+              Hashtbl.add inputs name v;
+              v)
+      | Kernel.Const c -> Dfg.Graph.Const c
+      | Kernel.Ref j -> results.(j)
+    in
+    let results = Array.make n (Dfg.Graph.Const 0) in
+    let out_name =
+      let tbl = Hashtbl.create 7 in
+      List.iter (fun (name, i) -> Hashtbl.replace tbl i name) k.Kernel.outputs;
+      fun i -> Hashtbl.find_opt tbl i
+    in
+    for i = 0 to n - 1 do
+      let node = k.Kernel.nodes.(i) in
+      let a = arg_operand results node.Kernel.a in
+      let c = arg_operand results node.Kernel.b in
+      let name =
+        match out_name i with Some s -> s | None -> Printf.sprintf "t%d" i
+      in
+      results.(i) <-
+        Dfg.Graph.Builder.op ~name b node.Kernel.kind ~step:step.(i) a c
+    done;
+    match Dfg.Graph.Builder.build b with
+    | Error errs -> Error (String.concat "; " errs)
+    | Ok g -> Dfg.Problem.make g modules
+  end

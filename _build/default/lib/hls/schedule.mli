@@ -1,0 +1,35 @@
+(** Resource-constrained scheduling of kernels onto control steps.
+
+    All operations take one control step (the paper's model).  The list
+    scheduler respects the module allocation: at each step, at most as many
+    operations of each class as there are supporting modules.  Priority is
+    longest-downstream-path first (critical path), the classic list
+    heuristic; ASAP and ALAP are exposed for analysis and tests. *)
+
+val asap : Kernel.t -> int array
+(** Earliest start step per node. *)
+
+val critical_path : Kernel.t -> int
+(** Length (in steps) of the longest dependence chain. *)
+
+val alap : Kernel.t -> latency:int -> int array
+(** Latest start steps for the given overall latency.
+    @raise Invalid_argument if [latency < critical_path]. *)
+
+val list_schedule :
+  ?latency:int -> ?inputs_at_start:bool -> ?minimize_pressure:bool ->
+  Kernel.t -> modules:Dfg.Fu_kind.t list -> (Dfg.Problem.t, string) result
+(** Schedules the kernel and packages it as a problem instance with the
+    given module allocation.  [latency] caps the schedule length (the
+    scheduler may exceed it only if resources force it; the cap steers
+    priorities via ALAP mobility).  [minimize_pressure] replaces the
+    ALAP-urgency priority with a register-pressure-aware one: ready
+    operations that are the last use of the most live values go first.
+    Fails if some operation kind has no supporting module. *)
+
+val of_steps :
+  ?inputs_at_start:bool -> Kernel.t -> steps:int array ->
+  modules:Dfg.Fu_kind.t list -> (Dfg.Problem.t, string) result
+(** Package an externally computed schedule (one step per node) as a
+    problem instance; the DFG builder and {!Dfg.Problem.make} validate
+    precedence and resource feasibility. *)

@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Array Buffer Bytes Fun Hashtbl Linexpr List Model Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/ilp/lp_parse.ml: Hashtbl In_channel Linexpr List Model Option Printf Result String

@@ -1,0 +1,1 @@
+lib/ilp/solver.ml: Array Float Fun Linexpr List Model Printf Queue Simplex Stack String Unix

@@ -1,0 +1,11 @@
+(** CPLEX LP-format export.
+
+    The paper solved its formulations with CPLEX 6.0; this writer produces
+    files any LP-format-reading solver (CPLEX, Gurobi, CBC, GLPK, HiGHS)
+    accepts, so the exact models built here can be cross-checked externally.
+
+    Variable and constraint names are sanitized to the LP-format character
+    set; a name table comment is emitted when sanitization renames. *)
+
+val to_string : Model.t -> string
+val to_file : string -> Model.t -> unit

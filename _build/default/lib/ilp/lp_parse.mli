@@ -1,0 +1,21 @@
+(** CPLEX LP-format reader.
+
+    Parses the common subset of the LP format: a [Minimize]/[Maximize]
+    objective, [Subject To] rows with [<=]/[>=]/[=], [Bounds], [Binary] and
+    [General] sections, comments ([\ ...]) and [End].  Maximization is
+    normalized to minimization by negating the objective (recorded in
+    {!parsed.negated}).
+
+    Coefficients must be integers (possibly signed); this matches
+    {!Lp_format.to_string} output and keeps the solver exact.  Fractional
+    models are rejected with a clear error. *)
+
+type parsed = {
+  model : Model.t;
+  negated : bool;
+      (** [true] when the source said [Maximize]: objective values returned
+          by the solver must be negated for reporting *)
+}
+
+val of_string : string -> (parsed, string) result
+val of_file : string -> (parsed, string) result

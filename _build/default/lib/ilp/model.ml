@@ -1,0 +1,127 @@
+type var = int
+type sense = Le | Ge | Eq
+
+type constr = { cname : string; expr : Linexpr.t; sense : sense; rhs : int }
+
+type t = {
+  mname : string;
+  mutable vnames : string list;  (* reversed *)
+  mutable lbs : int list;  (* reversed *)
+  mutable ubs : int list;  (* reversed *)
+  mutable count : int;
+  mutable constrs : constr list;  (* reversed *)
+  mutable n_constrs : int;
+  mutable obj : Linexpr.t;
+  (* Caches rebuilt on demand. *)
+  mutable frozen : (string array * int array * int array) option;
+}
+
+let create ?(name = "model") () =
+  {
+    mname = name;
+    vnames = [];
+    lbs = [];
+    ubs = [];
+    count = 0;
+    constrs = [];
+    n_constrs = 0;
+    obj = Linexpr.zero;
+    frozen = None;
+  }
+
+let name m = m.mname
+
+let int_var m ~lb ~ub vname =
+  if lb > ub then
+    invalid_arg (Printf.sprintf "Model.int_var %s: lb %d > ub %d" vname lb ub);
+  let v = m.count in
+  m.vnames <- vname :: m.vnames;
+  m.lbs <- lb :: m.lbs;
+  m.ubs <- ub :: m.ubs;
+  m.count <- v + 1;
+  m.frozen <- None;
+  v
+
+let bool_var m vname = int_var m ~lb:0 ~ub:1 vname
+let n_vars m = m.count
+
+let freeze m =
+  match m.frozen with
+  | Some f -> f
+  | None ->
+      let f =
+        ( Array.of_list (List.rev m.vnames),
+          Array.of_list (List.rev m.lbs),
+          Array.of_list (List.rev m.ubs) )
+      in
+      m.frozen <- Some f;
+      f
+
+let var_name m v =
+  let names, _, _ = freeze m in
+  names.(v)
+
+let bounds m v =
+  let _, lbs, ubs = freeze m in
+  (lbs.(v), ubs.(v))
+
+let is_binary m v = bounds m v = (0, 1)
+
+let add m ?name expr sense rhs =
+  let cname =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "c%d" m.n_constrs
+  in
+  m.constrs <- { cname; expr; sense; rhs } :: m.constrs;
+  m.n_constrs <- m.n_constrs + 1
+
+let add_le m ?name expr rhs = add m ?name expr Le rhs
+let add_ge m ?name expr rhs = add m ?name expr Ge rhs
+let add_eq m ?name expr rhs = add m ?name expr Eq rhs
+let n_constraints m = m.n_constrs
+let constraints m = Array.of_list (List.rev m.constrs)
+let set_objective m e = m.obj <- e
+let objective m = m.obj
+
+let eval_expr e x =
+  Linexpr.fold (fun ~coef ~var acc -> acc + (coef * x.(var))) e 0
+
+let check m x =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  if Array.length x <> m.count then
+    err "assignment has %d values for %d variables" (Array.length x) m.count
+  else begin
+    for v = 0 to m.count - 1 do
+      let lb, ub = bounds m v in
+      if x.(v) < lb || x.(v) > ub then
+        err "%s = %d outside [%d, %d]" (var_name m v) x.(v) lb ub
+    done;
+    List.iter
+      (fun c ->
+        let lhs = eval_expr c.expr x in
+        let ok =
+          match c.sense with
+          | Le -> lhs <= c.rhs
+          | Ge -> lhs >= c.rhs
+          | Eq -> lhs = c.rhs
+        in
+        if not ok then
+          err "%s violated: lhs = %d, rhs = %d" c.cname lhs c.rhs)
+      m.constrs
+  end;
+  match !errs with [] -> Ok () | e -> Error (List.rev e)
+
+let objective_value m x = eval_expr m.obj x
+
+let stats m =
+  let bin = ref 0 in
+  for v = 0 to m.count - 1 do
+    if is_binary m v then incr bin
+  done;
+  let nz =
+    List.fold_left (fun acc c -> acc + Linexpr.n_terms c.expr) 0 m.constrs
+  in
+  Printf.sprintf "%s: %d vars (%d binary), %d constraints, %d non-zeros"
+    m.mname m.count !bin m.n_constrs nz

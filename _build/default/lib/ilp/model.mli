@@ -1,0 +1,64 @@
+(** Integer linear programming model builder.
+
+    Variables are bounded integers (binaries are the [0,1] special case);
+    constraints are linear with integer coefficients; the objective is
+    minimized.  The builder is imperative: create, add variables and
+    constraints, then hand the model to {!Solver} (or export with
+    {!Lp_format}). *)
+
+type t
+type var = int
+
+type sense = Le | Ge | Eq
+
+type constr = {
+  cname : string;
+  expr : Linexpr.t;
+  sense : sense;
+  rhs : int;
+}
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+(** {1 Variables} *)
+
+val bool_var : t -> string -> var
+val int_var : t -> lb:int -> ub:int -> string -> var
+(** Requires [lb <= ub]; raises [Invalid_argument] otherwise. *)
+
+val n_vars : t -> int
+val var_name : t -> var -> string
+val bounds : t -> var -> int * int
+val is_binary : t -> var -> bool
+
+(** {1 Constraints} *)
+
+val add : t -> ?name:string -> Linexpr.t -> sense -> int -> unit
+val add_le : t -> ?name:string -> Linexpr.t -> int -> unit
+val add_ge : t -> ?name:string -> Linexpr.t -> int -> unit
+val add_eq : t -> ?name:string -> Linexpr.t -> int -> unit
+
+val n_constraints : t -> int
+val constraints : t -> constr array
+(** In insertion order. The array is fresh; mutation is harmless. *)
+
+(** {1 Objective} *)
+
+val set_objective : t -> Linexpr.t -> unit
+(** Minimization objective. Replaces any previous objective. *)
+
+val objective : t -> Linexpr.t
+
+(** {1 Evaluation} *)
+
+val eval_expr : Linexpr.t -> int array -> int
+val check : t -> int array -> (unit, string list) result
+(** Verifies a full assignment against bounds and all constraints; the error
+    list names each violation.  This is the independent audit used by the
+    test-suite on every solver result. *)
+
+val objective_value : t -> int array -> int
+
+val stats : t -> string
+(** One-line summary: variables (binary/integer), constraints, non-zeros. *)

@@ -1,0 +1,167 @@
+type stats = {
+  infeasible : bool;
+  fixed_vars : int;
+  tightened_bounds : int;
+  dropped_rows : int;
+  strengthened_coefs : int;
+}
+
+(* Internal row representation: sum coef*var <= rhs. *)
+type row = { mutable terms : (int * int) list; mutable rhs : int }
+
+let rows_of_model m =
+  let rows = ref [] in
+  Array.iter
+    (fun (c : Model.constr) ->
+      let terms = Linexpr.terms c.Model.expr in
+      let neg = List.map (fun (a, v) -> (-a, v)) terms in
+      match c.Model.sense with
+      | Model.Le -> rows := { terms; rhs = c.Model.rhs } :: !rows
+      | Model.Ge -> rows := { terms = neg; rhs = -c.Model.rhs } :: !rows
+      | Model.Eq ->
+          rows :=
+            { terms = neg; rhs = -c.Model.rhs }
+            :: { terms; rhs = c.Model.rhs }
+            :: !rows)
+    (Model.constraints m);
+  Array.of_list (List.rev !rows)
+
+let min_activity lb ub (r : row) =
+  List.fold_left
+    (fun acc (a, v) -> acc + (if a > 0 then a * lb.(v) else a * ub.(v)))
+    0 r.terms
+
+let max_activity lb ub (r : row) =
+  List.fold_left
+    (fun acc (a, v) -> acc + (if a > 0 then a * ub.(v) else a * lb.(v)))
+    0 r.terms
+
+(* Bound tightening to fixpoint; returns false on proven infeasibility. *)
+let tighten lb ub rows =
+  let changed = ref true in
+  let feasible = ref true in
+  while !changed && !feasible do
+    changed := false;
+    Array.iter
+      (fun r ->
+        let minact = min_activity lb ub r in
+        if minact > r.rhs then feasible := false
+        else
+          let slack = r.rhs - minact in
+          List.iter
+            (fun (a, v) ->
+              if a > 0 then begin
+                let max_x = lb.(v) + (slack / a) in
+                if max_x < ub.(v) then begin
+                  ub.(v) <- max_x;
+                  changed := true;
+                  if ub.(v) < lb.(v) then feasible := false
+                end
+              end
+              else begin
+                let na = -a in
+                let min_x = ub.(v) - (slack / na) in
+                if min_x > lb.(v) then begin
+                  lb.(v) <- min_x;
+                  changed := true;
+                  if ub.(v) < lb.(v) then feasible := false
+                end
+              end)
+            r.terms)
+      rows
+  done;
+  !feasible
+
+let run m =
+  let n = Model.n_vars m in
+  let lb = Array.make n 0 and ub = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let l, u = Model.bounds m v in
+    lb.(v) <- l;
+    ub.(v) <- u
+  done;
+  let lb0 = Array.copy lb and ub0 = Array.copy ub in
+  let rows = rows_of_model m in
+  let feasible = tighten lb ub rows in
+  let fixed = ref 0 and tightened = ref 0 in
+  if feasible then
+    for v = 0 to n - 1 do
+      if lb.(v) = ub.(v) && lb0.(v) <> ub0.(v) then incr fixed
+      else if lb.(v) > lb0.(v) || ub.(v) < ub0.(v) then incr tightened
+    done;
+  (* redundant rows and coefficient strengthening under tightened bounds *)
+  let dropped = ref 0 and strengthened = ref 0 in
+  let kept = ref [] in
+  if feasible then
+    Array.iter
+      (fun r ->
+        let maxact = max_activity lb ub r in
+        if maxact <= r.rhs then incr dropped
+        else begin
+          (* Coefficient strengthening (one application per row; running
+             presolve again applies more).  For a <= row with binary x_j,
+             coefficient a_j > 0 and d = maxact - rhs > 0: shifting both
+             a_j and rhs down by delta keeps the x_j = 1 points identical,
+             and keeps the x_j = 0 points identical as long as
+             maxact - a_j <= rhs - delta, i.e. delta <= a_j - d.  The
+             maximal valid reduction is therefore delta = a_j - d (needs
+             a_j > d), which shrinks the coefficient exactly to d. *)
+          let d = maxact - r.rhs in
+          let rec apply acc = function
+            | [] -> None
+            | (a, v) :: rest when lb.(v) = 0 && ub.(v) = 1 && a > d ->
+                Some
+                  {
+                    terms = List.rev_append acc ((d, v) :: rest);
+                    rhs = r.rhs - (a - d);
+                  }
+            | t :: rest -> apply (t :: acc) rest
+          in
+          match apply [] r.terms with
+          | Some r' ->
+              incr strengthened;
+              kept := r' :: !kept
+          | None -> kept := r :: !kept
+        end)
+      rows;
+  let stats =
+    {
+      infeasible = not feasible;
+      fixed_vars = !fixed;
+      tightened_bounds = !tightened;
+      dropped_rows = !dropped;
+      strengthened_coefs = !strengthened;
+    }
+  in
+  (stats, lb, ub, List.rev !kept)
+
+let analyze m =
+  let stats, _, _, _ = run m in
+  stats
+
+let strengthen m =
+  let stats, lb, ub, rows = run m in
+  let m' = Model.create ~name:(Model.name m ^ "-presolved") () in
+  let n = Model.n_vars m in
+  for v = 0 to n - 1 do
+    let l, u =
+      if stats.infeasible then Model.bounds m v else (lb.(v), ub.(v))
+    in
+    ignore (Model.int_var m' ~lb:l ~ub:u (Model.var_name m v))
+  done;
+  if stats.infeasible then
+    (* explicit contradiction: 0 <= -1 *)
+    Model.add_le m' ~name:"infeasible" Linexpr.zero (-1)
+  else
+    List.iter
+      (fun r -> Model.add_le m' (Linexpr.of_list r.terms) r.rhs)
+      rows;
+  Model.set_objective m' (Model.objective m);
+  (m', stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "presolve: %s, %d fixed, %d tightened, %d rows dropped, %d coefficients \
+     strengthened"
+    (if s.infeasible then "INFEASIBLE" else "feasible")
+    s.fixed_vars s.tightened_bounds s.dropped_rows s.strengthened_coefs

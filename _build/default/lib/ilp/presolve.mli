@@ -1,0 +1,35 @@
+(** Presolve: cheap model reductions applied before branch & bound.
+
+    Three classic, safe techniques for integer models:
+
+    - {b bound tightening} to fixpoint over all rows (the same propagation
+      the solver runs at its root, exposed as a analysis);
+    - {b redundant-row elimination}: a row whose maximum activity under the
+      tightened bounds cannot exceed its right-hand side never binds;
+    - {b coefficient strengthening} on binary variables of [<=] rows: with
+      [d = maxact - rhs > 0] and a binary coefficient [a_j > d], shifting
+      [a_j] and the right-hand side down by [a_j - d] (the coefficient
+      shrinks to [d]) leaves every 0-1 point's feasibility unchanged while
+      cutting fractional LP corners, improving relaxation bounds.
+
+    [strengthen] rebuilds an equivalent model (same variable indices, same
+    objective, same integer solutions). *)
+
+type stats = {
+  infeasible : bool;  (** trivially infeasible found during analysis *)
+  fixed_vars : int;  (** variables whose bounds collapsed to a point *)
+  tightened_bounds : int;  (** non-collapsing bound improvements *)
+  dropped_rows : int;
+  strengthened_coefs : int;
+}
+
+val analyze : Model.t -> stats
+(** Analysis only; the model is not modified. *)
+
+val strengthen : Model.t -> Model.t * stats
+(** A new, equivalent model with the reductions applied.  When the analysis
+    proves infeasibility the returned model contains an explicitly
+    contradictory row (so any solver reports infeasible), and
+    [stats.infeasible] is set. *)
+
+val pp_stats : Format.formatter -> stats -> unit

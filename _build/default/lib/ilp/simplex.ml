@@ -1,0 +1,475 @@
+type result =
+  | Optimal of { objective : float; primal : float array }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type problem = {
+  n_vars : int;
+  lower : float array;
+  upper : float array;
+  objective : float array;
+  rows : (Model.sense * (int * float) list * float) list;
+}
+
+type status = Basic | At_lower | At_upper
+
+let eps_cost = 1e-7
+let eps_pivot = 1e-9
+let eps_feas = 1e-7
+
+(* Internal mutable state of the simplex.
+
+   Columns: structurals [0 .. n-1], one slack per row [n .. n+m-1],
+   artificials appended as needed.  Ge rows are negated to Le beforehand, so
+   slacks have bounds [0, +inf) (Le) or [0, 0] (Eq).  The basis inverse is
+   kept dense and updated by elementary row operations; it is refactorized
+   from scratch periodically to contain numerical drift. *)
+type state = {
+  m : int;
+  ncols : int;
+  lo : float array;
+  up : float array;
+  cols : (int * float) array array;  (* sparse column entries (row, coef) *)
+  rhs : float array;
+  mutable cost : float array;
+  status : status array;
+  basis : int array;  (* row -> column *)
+  binv : float array array;  (* m x m *)
+  xb : float array;  (* values of basic variables by row *)
+  work : float array;  (* scratch, length m *)
+}
+
+let nonbasic_value st j =
+  match st.status.(j) with
+  | At_lower -> st.lo.(j)
+  | At_upper -> st.up.(j)
+  | Basic -> assert false
+
+(* x_B = Binv (b - sum over nonbasic columns of A_j x_j). *)
+let recompute_xb st =
+  let r = Array.make st.m 0.0 in
+  Array.blit st.rhs 0 r 0 st.m;
+  for j = 0 to st.ncols - 1 do
+    if st.status.(j) <> Basic then begin
+      let xj = nonbasic_value st j in
+      if xj <> 0.0 then
+        Array.iter (fun (i, a) -> r.(i) <- r.(i) -. (a *. xj)) st.cols.(j)
+    end
+  done;
+  for i = 0 to st.m - 1 do
+    let acc = ref 0.0 in
+    let row = st.binv.(i) in
+    for k = 0 to st.m - 1 do
+      acc := !acc +. (row.(k) *. r.(k))
+    done;
+    st.xb.(i) <- !acc
+  done
+
+(* Gauss-Jordan inversion of the current basis matrix with partial
+   pivoting. Returns false when the basis is numerically singular. *)
+let refactorize st =
+  let m = st.m in
+  let a = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    Array.iter (fun (r, c) -> a.(r).(i) <- c) st.cols.(st.basis.(i))
+  done;
+  let inv = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 1 do
+    inv.(i).(i) <- 1.0
+  done;
+  let ok = ref true in
+  (try
+     for col = 0 to m - 1 do
+       (* partial pivot *)
+       let piv = ref col in
+       for i = col + 1 to m - 1 do
+         if Float.abs a.(i).(col) > Float.abs a.(!piv).(col) then piv := i
+       done;
+       if Float.abs a.(!piv).(col) < eps_pivot then begin
+         ok := false;
+         raise Exit
+       end;
+       if !piv <> col then begin
+         let t = a.(col) in
+         a.(col) <- a.(!piv);
+         a.(!piv) <- t;
+         let t = inv.(col) in
+         inv.(col) <- inv.(!piv);
+         inv.(!piv) <- t
+       end;
+       let d = a.(col).(col) in
+       for k = 0 to m - 1 do
+         a.(col).(k) <- a.(col).(k) /. d;
+         inv.(col).(k) <- inv.(col).(k) /. d
+       done;
+       for i = 0 to m - 1 do
+         if i <> col then begin
+           let f = a.(i).(col) in
+           if f <> 0.0 then
+             for k = 0 to m - 1 do
+               a.(i).(k) <- a.(i).(k) -. (f *. a.(col).(k));
+               inv.(i).(k) <- inv.(i).(k) -. (f *. inv.(col).(k))
+             done
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then begin
+    for i = 0 to m - 1 do
+      Array.blit inv.(i) 0 st.binv.(i) 0 m
+    done;
+    recompute_xb st
+  end;
+  !ok
+
+(* One simplex phase on the current cost vector.  Returns [`Optimal],
+   [`Unbounded] or [`Iters]. *)
+let run_phase st ~max_iters =
+  let m = st.m in
+  let y = Array.make m 0.0 in
+  let iters = ref 0 in
+  let since_progress = ref 0 in
+  let last_obj = ref infinity in
+  let rec loop () =
+    if !iters >= max_iters then `Iters
+    else begin
+      incr iters;
+      if !iters mod 128 = 0 then ignore (refactorize st);
+      (* y = c_B Binv *)
+      for k = 0 to m - 1 do
+        let acc = ref 0.0 in
+        for i = 0 to m - 1 do
+          let cb = st.cost.(st.basis.(i)) in
+          if cb <> 0.0 then acc := !acc +. (cb *. st.binv.(i).(k))
+        done;
+        y.(k) <- !acc
+      done;
+      (* Pricing: Dantzig normally, Bland when stalled. *)
+      let bland = !since_progress > 2 * (m + 10) in
+      let enter = ref (-1) and best = ref eps_cost and enter_dir = ref 1.0 in
+      (try
+         for j = 0 to st.ncols - 1 do
+           match st.status.(j) with
+           | Basic -> ()
+           | At_lower | At_upper ->
+               if st.up.(j) > st.lo.(j) then begin
+                 let d =
+                   Array.fold_left
+                     (fun acc (i, a) -> acc -. (y.(i) *. a))
+                     st.cost.(j) st.cols.(j)
+                 in
+                 let attractive, dir =
+                   match st.status.(j) with
+                   | At_lower -> (d < -.eps_cost, 1.0)
+                   | At_upper -> (d > eps_cost, -1.0)
+                   | Basic -> (false, 0.0)
+                 in
+                 if attractive then
+                   if bland then begin
+                     enter := j;
+                     enter_dir := dir;
+                     raise Exit
+                   end
+                   else if Float.abs d > !best then begin
+                     best := Float.abs d;
+                     enter := j;
+                     enter_dir := dir
+                   end
+               end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Optimal
+      else begin
+        let j = !enter and dir = !enter_dir in
+        (* w = Binv A_j *)
+        let w = st.work in
+        Array.fill w 0 m 0.0;
+        Array.iter
+          (fun (r, a) ->
+            for i = 0 to m - 1 do
+              w.(i) <- w.(i) +. (st.binv.(i).(r) *. a)
+            done)
+          st.cols.(j);
+        (* ratio test *)
+        let t_flip =
+          if st.up.(j) = infinity then infinity else st.up.(j) -. st.lo.(j)
+        in
+        let t_min = ref t_flip and leave = ref (-1) and leave_to = ref At_lower in
+        for i = 0 to m - 1 do
+          let delta = dir *. w.(i) in
+          let b = st.basis.(i) in
+          if delta > eps_pivot then begin
+            let t = (st.xb.(i) -. st.lo.(b)) /. delta in
+            let t = if t < 0.0 then 0.0 else t in
+            if
+              t < !t_min -. 1e-12
+              || (t <= !t_min +. 1e-12 && !leave >= 0
+                  && Float.abs delta > Float.abs (dir *. st.work.(!leave)))
+            then begin
+              t_min := t;
+              leave := i;
+              leave_to := At_lower
+            end
+          end
+          else if delta < -.eps_pivot && st.up.(b) < infinity then begin
+            let t = (st.xb.(i) -. st.up.(b)) /. delta in
+            let t = if t < 0.0 then 0.0 else t in
+            if
+              t < !t_min -. 1e-12
+              || (t <= !t_min +. 1e-12 && !leave >= 0
+                  && Float.abs delta > Float.abs (dir *. st.work.(!leave)))
+            then begin
+              t_min := t;
+              leave := i;
+              leave_to := At_upper
+            end
+          end
+        done;
+        if !t_min = infinity then `Unbounded
+        else begin
+          let t = !t_min in
+          if !leave < 0 then begin
+            (* bound flip *)
+            for i = 0 to m - 1 do
+              st.xb.(i) <- st.xb.(i) -. (t *. dir *. w.(i))
+            done;
+            st.status.(j) <-
+              (match st.status.(j) with
+              | At_lower -> At_upper
+              | At_upper -> At_lower
+              | Basic -> assert false);
+            since_progress := 0;
+            loop ()
+          end
+          else begin
+            let r = !leave in
+            let entering_value =
+              match st.status.(j) with
+              | At_lower -> st.lo.(j) +. t
+              | At_upper -> st.up.(j) -. t
+              | Basic -> assert false
+            in
+            for i = 0 to m - 1 do
+              if i <> r then st.xb.(i) <- st.xb.(i) -. (t *. dir *. w.(i))
+            done;
+            let leaving = st.basis.(r) in
+            st.status.(leaving) <- !leave_to;
+            st.status.(j) <- Basic;
+            st.basis.(r) <- j;
+            st.xb.(r) <- entering_value;
+            (* Binv update: row r scaled by 1/w_r, others eliminated. *)
+            let wr = w.(r) in
+            let rowr = st.binv.(r) in
+            for k = 0 to m - 1 do
+              rowr.(k) <- rowr.(k) /. wr
+            done;
+            for i = 0 to m - 1 do
+              if i <> r && Float.abs w.(i) > 0.0 then begin
+                let f = w.(i) in
+                let rowi = st.binv.(i) in
+                for k = 0 to m - 1 do
+                  rowi.(k) <- rowi.(k) -. (f *. rowr.(k))
+                done
+              end
+            done;
+            (* progress tracking on the phase objective *)
+            let obj = ref 0.0 in
+            for i = 0 to m - 1 do
+              let c = st.cost.(st.basis.(i)) in
+              if c <> 0.0 then obj := !obj +. (c *. st.xb.(i))
+            done;
+            if !obj < !last_obj -. 1e-9 then begin
+              last_obj := !obj;
+              since_progress := 0
+            end
+            else incr since_progress;
+            loop ()
+          end
+        end
+      end
+    end
+  in
+  loop ()
+
+let solve ?(max_iters = 20_000) (p : problem) =
+  let n = p.n_vars in
+  (* Normalize rows: Ge becomes negated Le; collect (terms, rhs, is_eq). *)
+  let rows =
+    List.map
+      (fun (sense, terms, rhs) ->
+        match sense with
+        | Model.Le -> (terms, rhs, false)
+        | Model.Eq -> (terms, rhs, true)
+        | Model.Ge ->
+            (List.map (fun (v, c) -> (v, -.c)) terms, -.rhs, false))
+      p.rows
+  in
+  let m = List.length rows in
+  if m = 0 then begin
+    (* Only bounds: each variable sits at the bound favoured by its cost. *)
+    let primal =
+      Array.init n (fun j ->
+          if p.objective.(j) >= 0.0 then p.lower.(j) else p.upper.(j))
+    in
+    let unb = ref false and obj = ref 0.0 in
+    Array.iteri
+      (fun j x ->
+        if Float.abs x = infinity && p.objective.(j) <> 0.0 then unb := true
+        else obj := !obj +. (p.objective.(j) *. x))
+      primal;
+    if !unb then Unbounded else Optimal { objective = !obj; primal }
+  end
+  else begin
+    let ncols_base = n + m in
+    (* residuals with structurals at lower bound determine artificials *)
+    let rhs = Array.make m 0.0 in
+    let is_eq = Array.make m false in
+    List.iteri
+      (fun i (_, r, e) ->
+        rhs.(i) <- r;
+        is_eq.(i) <- e)
+      rows;
+    let resid = Array.make m 0.0 in
+    List.iteri
+      (fun i (terms, r, _) ->
+        let acc = ref r in
+        List.iter (fun (v, c) -> acc := !acc -. (c *. p.lower.(v))) terms;
+        resid.(i) <- !acc)
+      rows;
+    let needs_art = Array.make m false in
+    for i = 0 to m - 1 do
+      if is_eq.(i) then needs_art.(i) <- Float.abs resid.(i) > eps_feas
+      else needs_art.(i) <- resid.(i) < -.eps_feas
+    done;
+    let n_art = Array.fold_left (fun a b -> if b then a + 1 else a) 0 needs_art in
+    let ncols = ncols_base + n_art in
+    let lo = Array.make ncols 0.0 and up = Array.make ncols infinity in
+    Array.blit p.lower 0 lo 0 n;
+    Array.blit p.upper 0 up 0 n;
+    for i = 0 to m - 1 do
+      (* slack bounds *)
+      if is_eq.(i) then up.(n + i) <- 0.0
+    done;
+    let cols = Array.make ncols [||] in
+    let by_col = Array.make n [] in
+    List.iteri
+      (fun i (terms, _, _) ->
+        List.iter (fun (v, c) -> by_col.(v) <- (i, c) :: by_col.(v)) terms)
+      rows;
+    for j = 0 to n - 1 do
+      cols.(j) <- Array.of_list (List.rev by_col.(j))
+    done;
+    for i = 0 to m - 1 do
+      cols.(n + i) <- [| (i, 1.0) |]
+    done;
+    let status = Array.make ncols At_lower in
+    let basis = Array.make m (-1) in
+    let next_art = ref ncols_base in
+    for i = 0 to m - 1 do
+      if needs_art.(i) then begin
+        let j = !next_art in
+        incr next_art;
+        cols.(j) <- [| (i, if resid.(i) >= 0.0 then 1.0 else -1.0) |];
+        basis.(i) <- j;
+        status.(j) <- Basic
+      end
+      else begin
+        basis.(i) <- n + i;
+        status.(n + i) <- Basic
+      end
+    done;
+    let binv = Array.make_matrix m m 0.0 in
+    for i = 0 to m - 1 do
+      binv.(i).(i) <- 1.0
+    done;
+    let st =
+      {
+        m;
+        ncols;
+        lo;
+        up;
+        cols;
+        rhs;
+        cost = Array.make ncols 0.0;
+        status;
+        basis;
+        binv;
+        xb = Array.make m 0.0;
+        work = Array.make m 0.0;
+      }
+    in
+    ignore (refactorize st);
+    (* Phase I *)
+    let phase2_only = n_art = 0 in
+    let run_phase2 () =
+      let cost2 = Array.make ncols 0.0 in
+      Array.blit p.objective 0 cost2 0 n;
+      (* artificials pinned to zero *)
+      for j = ncols_base to ncols - 1 do
+        up.(j) <- 0.0
+      done;
+      st.cost <- cost2;
+      match run_phase st ~max_iters with
+      | `Optimal ->
+          ignore (refactorize st);
+          let primal = Array.make n 0.0 in
+          for j = 0 to n - 1 do
+            match st.status.(j) with
+            | At_lower -> primal.(j) <- lo.(j)
+            | At_upper -> primal.(j) <- up.(j)
+            | Basic -> ()
+          done;
+          for i = 0 to m - 1 do
+            if st.basis.(i) < n then primal.(st.basis.(i)) <- st.xb.(i)
+          done;
+          let obj = ref 0.0 in
+          for j = 0 to n - 1 do
+            obj := !obj +. (p.objective.(j) *. primal.(j))
+          done;
+          Optimal { objective = !obj; primal }
+      | `Unbounded -> Unbounded
+      | `Iters -> Iteration_limit
+    in
+    if phase2_only then run_phase2 ()
+    else begin
+      let cost1 = Array.make ncols 0.0 in
+      for j = ncols_base to ncols - 1 do
+        cost1.(j) <- 1.0
+      done;
+      st.cost <- cost1;
+      match run_phase st ~max_iters with
+      | `Unbounded -> Infeasible (* cannot happen: phase I is bounded below *)
+      | `Iters -> Iteration_limit
+      | `Optimal ->
+          let phase1_obj = ref 0.0 in
+          for i = 0 to m - 1 do
+            if st.basis.(i) >= ncols_base then
+              phase1_obj := !phase1_obj +. st.xb.(i)
+          done;
+          if !phase1_obj > 1e-6 then Infeasible else run_phase2 ()
+    end
+  end
+
+let relax ?lower ?upper (model : Model.t) =
+  let n = Model.n_vars model in
+  let lo = Array.make n 0.0 and up = Array.make n 0.0 in
+  for v = 0 to n - 1 do
+    let l, u = Model.bounds model v in
+    lo.(v) <- float_of_int (match lower with Some a -> a.(v) | None -> l);
+    up.(v) <- float_of_int (match upper with Some a -> a.(v) | None -> u)
+  done;
+  let objective = Array.make n 0.0 in
+  Linexpr.iter
+    (fun ~coef ~var -> objective.(var) <- float_of_int coef)
+    (Model.objective model);
+  let rows =
+    Array.to_list (Model.constraints model)
+    |> List.map (fun (c : Model.constr) ->
+           ( c.Model.sense,
+             List.map
+               (fun (coef, v) -> (v, float_of_int coef))
+               (Linexpr.terms c.Model.expr),
+             float_of_int c.Model.rhs ))
+  in
+  solve { n_vars = n; lower = lo; upper = up; objective; rows }

@@ -1,0 +1,31 @@
+(** Linear-programming relaxation solver: bounded-variable revised primal
+    simplex with a two-phase start (artificial basis), Dantzig pricing with a
+    Bland's-rule anti-cycling fallback, and periodic basis refactorization.
+
+    This is the LP oracle behind {!Solver}'s branch-and-bound bounding step
+    and is usable on its own.  It works on floats; callers that need safe
+    integer bounds should subtract a tolerance (see {!Solver}). *)
+
+type result =
+  | Optimal of { objective : float; primal : float array }
+      (** [primal] has one entry per structural variable. *)
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type problem = {
+  n_vars : int;
+  lower : float array;  (** per-variable lower bounds (finite) *)
+  upper : float array;  (** per-variable upper bounds (may be [infinity]) *)
+  objective : float array;  (** minimized *)
+  rows : (Model.sense * (int * float) list * float) list;
+      (** constraint sense, [(var, coef)] terms, right-hand side *)
+}
+
+val solve : ?max_iters:int -> problem -> result
+(** [max_iters] defaults to [20_000]. *)
+
+val relax :
+  ?lower:int array -> ?upper:int array -> Model.t -> result
+(** LP relaxation of an ILP model, optionally with tightened variable bounds
+    (as maintained by branch-and-bound nodes). *)

@@ -1,0 +1,409 @@
+type status = Optimal | Feasible | Infeasible | Unknown
+
+type outcome = {
+  status : status;
+  solution : int array option;
+  objective : int option;
+  bound : int;
+  nodes : int;
+  time_s : float;
+}
+
+type lp_mode = Lp_never | Lp_root | Lp_depth of int
+
+type options = {
+  time_limit : float option;
+  node_limit : int option;
+  lp : lp_mode;
+  branch_order : int list option;
+  prefer_high : bool;
+  warm_start : int array option;
+  verbose : bool;
+}
+
+let default =
+  {
+    time_limit = None;
+    node_limit = None;
+    lp = Lp_root;
+    branch_order = None;
+    prefer_high = true;
+    warm_start = None;
+    verbose = false;
+  }
+
+(* Internal row: terms `sum coef*var <= rhs`.  Eq model rows are split into
+   two Le rows; Ge rows are negated. *)
+type row = { terms : (int * int) array; mutable rhs : int }
+
+exception Out_of_time
+
+type search = {
+  model : Model.t;
+  n : int;
+  lb : int array;
+  ub : int array;
+  rows : row array;
+  occ : int list array;  (* var -> row indices *)
+  obj_terms : (int * int) array;
+  obj_row : row option;  (* objective cutoff, rhs updated on incumbents *)
+  trail : (int * int * int * bool) Stack.t;
+      (* (var, old bound, mark-irrelevant, is_lb) encoded below *)
+  opts : options;
+  started : float;
+  mutable incumbent : int array option;
+  mutable incumbent_obj : int;
+  mutable nodes : int;
+  mutable root_bound : int;
+  branch_seq : int array;
+  value_hint : int array option;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* --- trail ------------------------------------------------------------- *)
+
+let set_lb s v value =
+  if value > s.lb.(v) then begin
+    Stack.push (v, s.lb.(v), 0, true) s.trail;
+    s.lb.(v) <- value
+  end
+
+let set_ub s v value =
+  if value < s.ub.(v) then begin
+    Stack.push (v, s.ub.(v), 0, false) s.trail;
+    s.ub.(v) <- value
+  end
+
+let mark s = Stack.length s.trail
+
+let undo_to s m =
+  while Stack.length s.trail > m do
+    let v, old, _, is_lb = Stack.pop s.trail in
+    if is_lb then s.lb.(v) <- old else s.ub.(v) <- old
+  done
+
+(* --- propagation ------------------------------------------------------- *)
+
+let min_activity s (r : row) =
+  Array.fold_left
+    (fun acc (a, v) -> acc + (if a > 0 then a * s.lb.(v) else a * s.ub.(v)))
+    0 r.terms
+
+(* Bound tightening on one Le row; returns false on conflict, records
+   touched variables through [touch]. *)
+let propagate_row s (r : row) ~touch =
+  let minact = min_activity s r in
+  if minact > r.rhs then false
+  else begin
+    let slack = r.rhs - minact in
+    Array.iter
+      (fun (a, v) ->
+        if a > 0 then begin
+          (* a * (x - lb) <= slack *)
+          let max_x = s.lb.(v) + (slack / a) in
+          if max_x < s.ub.(v) then begin
+            set_ub s v max_x;
+            touch v
+          end
+        end
+        else begin
+          (* (-a) * (ub - x) <= slack  =>  x >= ub - slack / (-a) *)
+          let na = -a in
+          let min_x = s.ub.(v) - (slack / na) in
+          if min_x > s.lb.(v) then begin
+            set_lb s v min_x;
+            touch v
+          end
+        end)
+      r.terms;
+    true
+  end
+
+(* Worklist propagation to fixpoint starting from the given variables (or
+   all rows when [None]). *)
+let propagate s seeds =
+  let pending = Queue.create () in
+  let queued = Array.make (Array.length s.rows) false in
+  let enqueue_row i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      Queue.add i pending
+    end
+  in
+  let touch v = List.iter enqueue_row s.occ.(v) in
+  (match seeds with
+  | None -> Array.iteri (fun i _ -> enqueue_row i) s.rows
+  | Some vars -> List.iter touch vars);
+  let ok = ref true in
+  (* The objective cutoff row participates whenever it exists.  Its
+     tightenings enqueue ordinary rows, so the whole thing must run to a
+     joint fixpoint: drain the queue, re-run the cutoff pass, and repeat
+     until neither produces new work. *)
+  let obj_pass () =
+    match s.obj_row with
+    | None -> true
+    | Some r ->
+        if s.incumbent = None then true
+        else propagate_row s r ~touch
+  in
+  let drain () =
+    while !ok && not (Queue.is_empty pending) do
+      let i = Queue.take pending in
+      queued.(i) <- false;
+      if not (propagate_row s s.rows.(i) ~touch) then ok := false
+    done
+  in
+  let rec fixpoint () =
+    drain ();
+    if !ok then
+      if not (obj_pass ()) then ok := false
+      else if not (Queue.is_empty pending) then fixpoint ()
+  in
+  fixpoint ();
+  !ok
+
+(* --- bounding ---------------------------------------------------------- *)
+
+let objective_min_activity s =
+  Array.fold_left
+    (fun acc (a, v) -> acc + (if a > 0 then a * s.lb.(v) else a * s.ub.(v)))
+    0 s.obj_terms
+
+let lp_bound s =
+  match Simplex.relax ~lower:s.lb ~upper:s.ub s.model with
+  | Simplex.Optimal { objective; _ } ->
+      (* Safety margin before integer rounding: the LP is float-based. *)
+      Some (int_of_float (Float.ceil (objective -. 1e-4 -. (1e-9 *. Float.abs objective))))
+  | Simplex.Infeasible -> Some max_int
+  | Simplex.Unbounded | Simplex.Iteration_limit -> None
+
+let use_lp_at s depth =
+  match s.opts.lp with
+  | Lp_never -> false
+  | Lp_root -> depth = 0
+  | Lp_depth d -> depth <= d
+
+(* --- search ------------------------------------------------------------ *)
+
+let check_limits s =
+  (match s.opts.time_limit with
+  | Some tl when now () -. s.started > tl -> raise Out_of_time
+  | Some _ | None -> ());
+  match s.opts.node_limit with
+  | Some nl when s.nodes >= nl -> raise Out_of_time
+  | Some _ | None -> ()
+
+let record_incumbent s =
+  let x = Array.copy s.lb in
+  let obj =
+    Array.fold_left (fun acc (a, v) -> acc + (a * x.(v))) 0 s.obj_terms
+  in
+  if s.incumbent = None || obj < s.incumbent_obj then begin
+    (match Model.check s.model x with
+    | Ok () -> ()
+    | Error errs ->
+        failwith
+          ("Ilp.Solver internal error: incumbent fails audit: "
+          ^ String.concat "; " errs));
+    s.incumbent <- Some x;
+    s.incumbent_obj <- obj;
+    (match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ());
+    if s.opts.verbose then
+      Printf.eprintf "[ilp] incumbent %d after %d nodes (%.2fs)\n%!" obj
+        s.nodes
+        (now () -. s.started)
+  end
+
+let pick_branch_var s =
+  let n_seq = Array.length s.branch_seq in
+  let rec go i =
+    if i >= n_seq then None
+    else begin
+      let v = s.branch_seq.(i) in
+      if s.lb.(v) < s.ub.(v) then Some v else go (i + 1)
+    end
+  in
+  go 0
+
+let rec dfs s depth =
+  s.nodes <- s.nodes + 1;
+  if s.nodes land 63 = 0 || use_lp_at s depth then check_limits s;
+  if
+    s.incumbent <> None
+    && objective_min_activity s >= s.incumbent_obj
+  then ()
+  else if use_lp_at s depth then begin
+    match lp_bound s with
+    | Some b ->
+        if depth = 0 && b > s.root_bound then s.root_bound <- b;
+        if b = max_int then () (* LP-infeasible node *)
+        else if s.incumbent <> None && b >= s.incumbent_obj then ()
+        else branch s depth
+    | None -> branch s depth
+  end
+  else branch s depth
+
+and branch s depth =
+  match pick_branch_var s with
+  | None -> record_incumbent s
+  | Some v ->
+      let lo = s.lb.(v) and hi = s.ub.(v) in
+      let values =
+        if hi - lo <= 8 then begin
+          (* enumerate values, hint (or preferred end) first *)
+          let all = List.init (hi - lo + 1) (fun i -> lo + i) in
+          let all = if s.opts.prefer_high then List.rev all else all in
+          match s.value_hint with
+          | Some h when h.(v) >= lo && h.(v) <= hi ->
+              h.(v) :: List.filter (fun x -> x <> h.(v)) all
+          | Some _ | None -> all
+        end
+        else []
+      in
+      if values <> [] then
+        List.iter
+          (fun value ->
+            let m = mark s in
+            set_lb s v value;
+            set_ub s v value;
+            if propagate s (Some [ v ]) then dfs s (depth + 1);
+            undo_to s m)
+          values
+      else begin
+        (* wide integer domain: bisect *)
+        let mid = lo + ((hi - lo) / 2) in
+        let m = mark s in
+        set_ub s v mid;
+        if propagate s (Some [ v ]) then dfs s (depth + 1);
+        undo_to s m;
+        let m = mark s in
+        set_lb s v (mid + 1);
+        if propagate s (Some [ v ]) then dfs s (depth + 1);
+        undo_to s m
+      end
+
+let solve ?(options = default) model =
+  let n = Model.n_vars model in
+  let lb = Array.make n 0 and ub = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let l, u = Model.bounds model v in
+    lb.(v) <- l;
+    ub.(v) <- u
+  done;
+  (* Normalize rows to Le. *)
+  let rows = ref [] in
+  Array.iter
+    (fun (c : Model.constr) ->
+      let terms = Array.of_list (Linexpr.terms c.Model.expr) in
+      let neg = Array.map (fun (a, v) -> (-a, v)) terms in
+      match c.Model.sense with
+      | Model.Le -> rows := { terms; rhs = c.Model.rhs } :: !rows
+      | Model.Ge -> rows := { terms = neg; rhs = -c.Model.rhs } :: !rows
+      | Model.Eq ->
+          rows :=
+            { terms = neg; rhs = -c.Model.rhs }
+            :: { terms; rhs = c.Model.rhs }
+            :: !rows)
+    (Model.constraints model);
+  let rows = Array.of_list (List.rev !rows) in
+  let occ = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i r ->
+      Array.iter (fun (_, v) -> occ.(v) <- i :: occ.(v)) r.terms)
+    rows;
+  let obj_terms = Array.of_list (Linexpr.terms (Model.objective model)) in
+  let obj_row =
+    if Array.length obj_terms = 0 then None
+    else Some { terms = obj_terms; rhs = max_int / 2 }
+  in
+  let branch_seq =
+    match options.branch_order with
+    | None -> Array.init n (fun i -> i)
+    | Some order ->
+        let seen = Array.make n false in
+        let pref = List.filter (fun v -> v >= 0 && v < n) order in
+        List.iter (fun v -> seen.(v) <- true) pref;
+        let rest = List.filter (fun v -> not seen.(v)) (List.init n Fun.id) in
+        Array.of_list (pref @ rest)
+  in
+  let warm =
+    match options.warm_start with
+    | Some x when Array.length x = n && Model.check model x = Ok () -> Some x
+    | Some _ | None -> None
+  in
+  let s =
+    {
+      model;
+      n;
+      lb;
+      ub;
+      rows;
+      occ;
+      obj_terms;
+      obj_row;
+      trail = Stack.create ();
+      opts = options;
+      started = now ();
+      incumbent = None;
+      incumbent_obj = max_int;
+      nodes = 0;
+      root_bound = min_int;
+      branch_seq;
+      value_hint = options.warm_start;
+    }
+  in
+  (match warm with
+  | Some x ->
+      let obj =
+        Array.fold_left (fun acc (a, v) -> acc + (a * x.(v))) 0 obj_terms
+      in
+      s.incumbent <- Some (Array.copy x);
+      s.incumbent_obj <- obj;
+      (match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ())
+  | None -> ());
+  let complete =
+    try
+      if propagate s None then dfs s 0;
+      true
+    with Out_of_time -> false
+  in
+  let time_s = now () -. s.started in
+  let trivial_bound = objective_min_activity s in
+  match (s.incumbent, complete) with
+  | Some x, true ->
+      {
+        status = Optimal;
+        solution = Some x;
+        objective = Some s.incumbent_obj;
+        bound = s.incumbent_obj;
+        nodes = s.nodes;
+        time_s;
+      }
+  | Some x, false ->
+      {
+        status = Feasible;
+        solution = Some x;
+        objective = Some s.incumbent_obj;
+        bound = max s.root_bound trivial_bound;
+        nodes = s.nodes;
+        time_s;
+      }
+  | None, true ->
+      {
+        status = Infeasible;
+        solution = None;
+        objective = None;
+        bound = max_int;
+        nodes = s.nodes;
+        time_s;
+      }
+  | None, false ->
+      {
+        status = Unknown;
+        solution = None;
+        objective = None;
+        bound = max s.root_bound trivial_bound;
+        nodes = s.nodes;
+        time_s;
+      }

@@ -1,0 +1,51 @@
+(** Branch-and-bound solver for integer linear programs.
+
+    Depth-first search over variable domains with:
+    - bound-tightening (pseudo-boolean) propagation at every node,
+    - an objective cutoff row updated whenever the incumbent improves,
+    - optional LP-relaxation bounding via {!Simplex} (root and/or periodic),
+    - a caller-supplied branching order and warm-start solution,
+    - wall-clock time limit with best-found-so-far reporting, mirroring the
+      24-hour CPU cap the paper applied to CPLEX.
+
+    Solutions returned are always re-audited against the model with
+    {!Model.check}; a violation indicates a solver bug and raises. *)
+
+type status =
+  | Optimal  (** search exhausted: the solution is proven optimal *)
+  | Feasible  (** a solution was found but limits stopped the proof *)
+  | Infeasible  (** proven: no solution exists *)
+  | Unknown  (** limits hit before any solution was found *)
+
+type outcome = {
+  status : status;
+  solution : int array option;
+  objective : int option;
+  bound : int;  (** proven lower bound on the optimum *)
+  nodes : int;
+  time_s : float;  (** wall-clock seconds spent *)
+}
+
+type lp_mode =
+  | Lp_never
+  | Lp_root  (** LP bound at the root node only *)
+  | Lp_depth of int  (** LP bound at nodes of depth <= the given value *)
+
+type options = {
+  time_limit : float option;  (** seconds *)
+  node_limit : int option;
+  lp : lp_mode;
+  branch_order : int list option;
+      (** variables to branch on, highest priority first; remaining
+          variables follow in index order *)
+  prefer_high : bool;  (** try the upper bound value first when branching *)
+  warm_start : int array option;
+      (** a (claimed) feasible assignment used as initial incumbent; it is
+          checked and silently discarded if infeasible *)
+  verbose : bool;
+}
+
+val default : options
+(** No limits, [Lp_root], no order, prefer 1, no warm start, quiet. *)
+
+val solve : ?options:options -> Model.t -> outcome

@@ -1,0 +1,162 @@
+(* Tests for the baseline re-implementations (ADVAN, RALLOC, BITS): plan
+   validity on the whole suite, allocation properties (RALLOC's self-
+   adjacency avoidance and extra registers), distinctive register-type
+   profiles, and the paper's headline: ADVBIST dominates every baseline in
+   area on every circuit. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let methods =
+  [
+    ("ADVAN", Baselines.Advan.synthesize);
+    ("RALLOC", Baselines.Ralloc.synthesize);
+    ("BITS", Baselines.Bits.synthesize);
+  ]
+
+let test_all_methods_synthesize_max_k () =
+  List.iter
+    (fun (cname, p) ->
+      let k = Dfg.Problem.n_modules p in
+      List.iter
+        (fun (mname, f) ->
+          match f p ~k with
+          | Error e -> Alcotest.failf "%s on %s: %s" mname cname e
+          | Ok plan ->
+              check_bool
+                (Printf.sprintf "%s/%s has test registers" mname cname)
+                true
+                (let tp, sr, bi, cb = Bist.Plan.kind_counts plan in
+                 tp + sr + bi + cb >= 1))
+        methods)
+    Circuits.Suite.all
+
+let test_ralloc_no_self_adjacency () =
+  List.iter
+    (fun (cname, (p : Dfg.Problem.t)) ->
+      let g = p.Dfg.Problem.dfg in
+      let a = Baselines.Ralloc.allocate g in
+      Array.iter
+        (fun (op : Dfg.Graph.operation) ->
+          Array.iter
+            (function
+              | Dfg.Graph.Var v ->
+                  check_bool
+                    (Printf.sprintf "%s: no self-adjacent register" cname)
+                    true
+                    (a.(v) <> a.(op.Dfg.Graph.output))
+              | Dfg.Graph.Const _ -> ())
+            op.Dfg.Graph.inputs)
+        g.Dfg.Graph.operations)
+    Circuits.Suite.all
+
+let test_ralloc_adds_registers_somewhere () =
+  (* the augmented conflict graph needs more colours than the interval graph
+     on at least one circuit, as in the paper's Table 3 *)
+  let extra =
+    List.filter
+      (fun (_, (p : Dfg.Problem.t)) ->
+        let g = p.Dfg.Problem.dfg in
+        let n = 1 + Array.fold_left max (-1) (Baselines.Ralloc.allocate g) in
+        n > Dfg.Problem.min_registers p)
+      Circuits.Suite.all
+  in
+  check_bool "RALLOC uses extra registers on some circuits" true (extra <> [])
+
+let test_ralloc_allocation_legal () =
+  List.iter
+    (fun (cname, (p : Dfg.Problem.t)) ->
+      let g = p.Dfg.Problem.dfg in
+      let a = Baselines.Ralloc.allocate g in
+      check_bool (cname ^ " legal") true (Hls.Regalloc.check g a = Ok ()))
+    Circuits.Suite.all
+
+let test_bits_allocation_legal () =
+  List.iter
+    (fun (cname, (p : Dfg.Problem.t)) ->
+      let g = p.Dfg.Problem.dfg in
+      let a = Baselines.Bits.allocate g in
+      check_bool (cname ^ " legal") true (Hls.Regalloc.check g a = Ok ()))
+    Circuits.Suite.all
+
+let test_profiles_differ () =
+  (* on tseng, the three baselines produce three different register-type
+     profiles — they are genuinely different methods *)
+  let p = Dfg.Benchmarks.tseng in
+  let k = Dfg.Problem.n_modules p in
+  let profiles =
+    List.map
+      (fun (mname, f) ->
+        match f p ~k with
+        | Error e -> Alcotest.failf "%s: %s" mname e
+        | Ok plan -> Bist.Plan.kind_counts plan)
+      methods
+  in
+  check_int "three distinct profiles" 3
+    (List.length (List.sort_uniq compare profiles))
+
+let test_advbist_dominates () =
+  (* Table 3's claim: ADVBIST is at least as small as every baseline on
+     every circuit (at the maximal session count). *)
+  List.iter
+    (fun (cname, p) ->
+      let k = Dfg.Problem.n_modules p in
+      match Advbist.Synth.synthesize ~time_limit:5.0 p ~k with
+      | Error e -> Alcotest.failf "ADVBIST on %s: %s" cname e
+      | Ok o ->
+          List.iter
+            (fun (mname, f) ->
+              match f p ~k with
+              | Error e -> Alcotest.failf "%s on %s: %s" mname cname e
+              | Ok plan ->
+                  check_bool
+                    (Printf.sprintf "ADVBIST <= %s on %s" mname cname)
+                    true
+                    (o.Advbist.Synth.area <= Bist.Plan.area plan))
+            methods)
+    Circuits.Suite.all
+
+let test_common_planner_eq13 () =
+  (* the planner never puts one register on both ports of a module *)
+  List.iter
+    (fun (_, p) ->
+      let k = Dfg.Problem.n_modules p in
+      List.iter
+        (fun (_, f) ->
+          match f p ~k with
+          | Error _ -> ()
+          | Ok plan ->
+              Array.iter
+                (fun tpgs ->
+                  if Array.length tpgs = 2 && tpgs.(0) >= 0 then
+                    check_bool "distinct tpgs" true (tpgs.(0) <> tpgs.(1)))
+                plan.Bist.Plan.tpg_of_port)
+        methods)
+    Circuits.Suite.all
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "synthesis",
+        [
+          Alcotest.test_case "all methods, max k" `Quick
+            test_all_methods_synthesize_max_k;
+          Alcotest.test_case "Eq 13 respected" `Quick test_common_planner_eq13;
+        ] );
+      ( "ralloc",
+        [
+          Alcotest.test_case "no self-adjacency" `Quick
+            test_ralloc_no_self_adjacency;
+          Alcotest.test_case "extra registers" `Quick
+            test_ralloc_adds_registers_somewhere;
+          Alcotest.test_case "legal allocation" `Quick
+            test_ralloc_allocation_legal;
+        ] );
+      ( "bits",
+        [ Alcotest.test_case "legal allocation" `Quick test_bits_allocation_legal ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "profiles differ" `Quick test_profiles_differ;
+          Alcotest.test_case "ADVBIST dominates" `Slow test_advbist_dominates;
+        ] );
+    ]

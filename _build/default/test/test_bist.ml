@@ -1,0 +1,467 @@
+(* Tests for the BIST substrate: LFSR/MISR behaviour, gate-level module
+   models vs the arithmetic reference, stuck-at fault simulation, plan
+   validity rules (Eqs. 6-13), register-role derivation (Eqs. 14-23) and
+   the Section 3.4 area accounting, plus executable test sessions. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- LFSR ---------------------------------------------------------------- *)
+
+let test_lfsr_maximal_period () =
+  List.iter
+    (fun width ->
+      let l = Bist.Lfsr.create ~width () in
+      let seen = Hashtbl.create 300 in
+      let rec count n =
+        let s = Bist.Lfsr.step l in
+        if Hashtbl.mem seen s then n
+        else begin
+          Hashtbl.add seen s ();
+          count (n + 1)
+        end
+      in
+      let period = count 0 in
+      check_int
+        (Printf.sprintf "width-%d period" width)
+        (Bist.Lfsr.period ~width) period)
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let test_lfsr_never_zero () =
+  let l = Bist.Lfsr.create ~width:8 () in
+  for _ = 1 to 300 do
+    check_bool "nonzero" true (Bist.Lfsr.step l <> 0)
+  done
+
+let test_lfsr_zero_seed () =
+  let l = Bist.Lfsr.create ~seed:0 ~width:8 () in
+  check_int "escapes zero" 1 (Bist.Lfsr.state l)
+
+let test_lfsr_bad_width () =
+  check_bool "width 1 rejected" true
+    (try
+       ignore (Bist.Lfsr.create ~width:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_misr_sensitivity () =
+  (* identical streams -> identical signatures; one changed word -> almost
+     surely different *)
+  let run responses =
+    let m = Bist.Lfsr.create ~width:8 () in
+    List.iter (Bist.Lfsr.misr_absorb m) responses;
+    Bist.Lfsr.signature m
+  in
+  let stream = List.init 40 (fun i -> (i * 37) land 255) in
+  check_int "deterministic" (run stream) (run stream);
+  let corrupted = List.mapi (fun i x -> if i = 20 then x lxor 4 else x) stream in
+  check_bool "corruption changes signature" true (run stream <> run corrupted)
+
+(* -- Gates --------------------------------------------------------------- *)
+
+let test_gates_match_arith () =
+  List.iter
+    (fun kind ->
+      for a = 0 to 15 do
+        for b = 0 to 15 do
+          let c = Bist.Gates.build kind ~width:4 in
+          check_int
+            (Printf.sprintf "%s %d %d" (Dfg.Op_kind.name kind) a b)
+            (Dfg.Op_kind.eval kind ~width:4 a b)
+            (Bist.Gates.eval c ~a ~b)
+        done
+      done)
+    Dfg.Op_kind.all
+
+let prop_gates_8bit =
+  QCheck2.Test.make ~name:"8-bit gate models match arithmetic" ~count:300
+    QCheck2.Gen.(
+      triple (oneofl Dfg.Op_kind.all) (int_range 0 255) (int_range 0 255))
+    (fun (kind, a, b) ->
+      let c = Bist.Gates.build kind ~width:8 in
+      Bist.Gates.eval c ~a ~b = Dfg.Op_kind.eval kind ~width:8 a b)
+
+(* -- Fault simulation ---------------------------------------------------- *)
+
+let test_fault_list_size () =
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:4 in
+  check_int "two faults per gate"
+    (2 * Bist.Gates.n_gates c)
+    (List.length (Bist.Fault_sim.faults c))
+
+let test_adder_random_coverage () =
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:8 in
+  let r = Bist.Fault_sim.random_pattern_coverage c ~n_patterns:255 () in
+  check_bool "high coverage" true (Bist.Fault_sim.coverage r > 90.0);
+  (* exhaustive patterns detect everything detectable; an 8-bit adder's
+     stuck faults are all detectable except on constant tie cells *)
+  check_bool "reasonable fault count" true (r.Bist.Fault_sim.n_faults > 50)
+
+let test_single_pattern_low_coverage () =
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:8 in
+  let one = Bist.Fault_sim.simulate c ~patterns:[ (1, 2) ] in
+  let many = Bist.Fault_sim.random_pattern_coverage c ~n_patterns:200 () in
+  check_bool "more patterns detect at least as much" true
+    (many.Bist.Fault_sim.n_detected >= one.Bist.Fault_sim.n_detected)
+
+let test_eval_faulty_differs () =
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:4 in
+  (* stuck-at on an input gate must corrupt some addition *)
+  let f = { Bist.Fault_sim.gate = 0; stuck_at = 1 } in
+  let differs = ref false in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      if Bist.Fault_sim.eval_faulty c ~a ~b f <> Bist.Gates.eval c ~a ~b then
+        differs := true
+    done
+  done;
+  check_bool "fault observable" true !differs
+
+(* -- Plans --------------------------------------------------------------- *)
+
+(* Fig. 1 with the paper's register assignment. *)
+let fig1_netlist () =
+  Datapath.Netlist.make_exn Dfg.Benchmarks.fig1
+    ~reg_of_var:[| 0; 1; 2; 1; 0; 2; 1; 2 |]
+    ~module_of_op:[| 0; 0; 1; 1 |]
+
+let fig1_plan_k1 () =
+  Bist.Plan.make_exn (fig1_netlist ()) ~k:1 ~session_of_module:[| 0; 0 |]
+    ~sr_of_module:[| 2; 1 |]
+    ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]
+
+let fig1_plan_k2 () =
+  Bist.Plan.make_exn (fig1_netlist ()) ~k:2 ~session_of_module:[| 0; 1 |]
+    ~sr_of_module:[| 2; 1 |]
+    ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]
+
+let test_plan_k1_kinds () =
+  let plan = fig1_plan_k1 () in
+  (* R0: TPG only; R1: TPG (M0.1) + SR (M1) same session -> CBILBO;
+     R2: TPG (M1.1) + SR (M0) same session -> CBILBO *)
+  Alcotest.(check (list string))
+    "kinds"
+    [ "TPG"; "CBILBO"; "CBILBO" ]
+    (Array.to_list
+       (Array.map Datapath.Area.reg_kind_name (Bist.Plan.reg_kinds plan)));
+  let tp, sr, bi, cb = Bist.Plan.kind_counts plan in
+  check_int "T" 1 tp;
+  check_int "S" 0 sr;
+  check_int "B" 0 bi;
+  check_int "C" 2 cb;
+  check_int "area" (256 + 596 + 596 + (6 * 80) + 176) (Bist.Plan.area plan)
+
+let test_plan_k2_kinds () =
+  let plan = fig1_plan_k2 () in
+  (* R0: TPG both sessions; R1: TPG s0 + SR s1 -> BILBO; R2: SR s0 + TPG s1
+     -> BILBO *)
+  Alcotest.(check (list string))
+    "kinds"
+    [ "TPG"; "BILBO"; "BILBO" ]
+    (Array.to_list
+       (Array.map Datapath.Area.reg_kind_name (Bist.Plan.reg_kinds plan)));
+  check_int "area" (256 + 388 + 388 + (6 * 80) + 176) (Bist.Plan.area plan);
+  check_bool "k=2 cheaper than k=1" true
+    (Bist.Plan.area plan < Bist.Plan.area (fig1_plan_k1 ()))
+
+let test_plan_overhead () =
+  let d = fig1_netlist () in
+  let reference = Datapath.Netlist.reference_area d in
+  check_int "reference" ((3 * 208) + (6 * 80) + 176) reference;
+  let plan = fig1_plan_k2 () in
+  Alcotest.(check (float 0.01))
+    "overhead %"
+    (100.0 *. float_of_int (Bist.Plan.area plan - reference)
+    /. float_of_int reference)
+    (Bist.Plan.overhead_pct plan ~reference)
+
+let test_plan_validity_rules () =
+  let d = fig1_netlist () in
+  (* Eq. 6: M1 (multiplier) never writes R0 *)
+  check_bool "SR without wire rejected" true
+    (Result.is_error
+       (Bist.Plan.make d ~k:1 ~session_of_module:[| 0; 0 |]
+          ~sr_of_module:[| 2; 0 |]
+          ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]));
+  (* Eq. 8: R2 as SR of both modules in one session *)
+  check_bool "shared SR in session rejected" true
+    (Result.is_error
+       (Bist.Plan.make d ~k:1 ~session_of_module:[| 0; 0 |]
+          ~sr_of_module:[| 2; 2 |]
+          ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]));
+  (* ... but fine in separate sessions *)
+  check_bool "shared SR across sessions allowed" true
+    (Result.is_ok
+       (Bist.Plan.make d ~k:2 ~session_of_module:[| 0; 1 |]
+          ~sr_of_module:[| 2; 2 |]
+          ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]));
+  (* Eq. 9: R2 does not feed M0 port 0 *)
+  check_bool "TPG without wire rejected" true
+    (Result.is_error
+       (Bist.Plan.make d ~k:1 ~session_of_module:[| 0; 0 |]
+          ~sr_of_module:[| 2; 1 |]
+          ~tpg_of_port:[| [| 2; 1 |]; [| 0; 2 |] |]));
+  (* Eq. 13: same TPG on both ports of M0 *)
+  check_bool "shared TPG on one module rejected" true
+    (Result.is_error
+       (Bist.Plan.make d ~k:1 ~session_of_module:[| 0; 0 |]
+          ~sr_of_module:[| 2; 1 |]
+          ~tpg_of_port:[| [| 0; 0 |]; [| 0; 2 |] |]));
+  (* dedicated TPG on a port with register sources *)
+  check_bool "extra-path TPG rejected" true
+    (Result.is_error
+       (Bist.Plan.make d ~k:1 ~session_of_module:[| 0; 0 |]
+          ~sr_of_module:[| 2; 1 |]
+          ~tpg_of_port:[| [| -1; 1 |]; [| 0; 2 |] |]));
+  (* empty sub-sessions are legal (a k-session plan may use fewer) *)
+  check_bool "empty trailing session allowed" true
+    (Result.is_ok
+       (Bist.Plan.make d ~k:2 ~session_of_module:[| 0; 0 |]
+          ~sr_of_module:[| 2; 1 |]
+          ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]));
+  (* out-of-range session id *)
+  check_bool "session out of range rejected" true
+    (Result.is_error
+       (Bist.Plan.make d ~k:2 ~session_of_module:[| 0; 2 |]
+          ~sr_of_module:[| 2; 1 |]
+          ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]))
+
+let test_constant_tpg_accounting () =
+  (* dct4 with default wiring has constant-only multiplier ports; build a
+     plan through left-edge + greedy and count dedicated TPGs *)
+  let p = Circuits.Suite.dct4 in
+  let g = p.Dfg.Problem.dfg in
+  let reg = Hls.Regalloc.allocate g in
+  let binding =
+    match Hls.Binder.bind p with Ok b -> b | Error e -> Alcotest.fail e
+  in
+  let d = Datapath.Netlist.make_exn p ~reg_of_var:reg ~module_of_op:binding in
+  let const_ports = Datapath.Netlist.constant_only_ports d in
+  check_bool "dct4 has constant-only ports" true (const_ports <> []);
+  check_bool "plan area charges constant TPGs" true
+    ((* area with dedicated generators exceeds pure register+mux area *)
+     let n = List.length const_ports in
+     n * Datapath.Area.constant_tpg > 0)
+
+(* -- Sessions ------------------------------------------------------------ *)
+
+let test_session_signatures_deterministic () =
+  let plan = fig1_plan_k2 () in
+  let s1 = Bist.Session.golden plan ~n_patterns:100 in
+  let s2 = Bist.Session.golden plan ~n_patterns:100 in
+  check_bool "repeatable" true (s1 = s2);
+  check_int "one signature per module mode" 2 (List.length s1)
+
+let test_session_detects_faults () =
+  let plan = fig1_plan_k2 () in
+  (* inject a few faults into the adder; most must shift the signature *)
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:8 in
+  let faults = Bist.Fault_sim.faults c in
+  let sample = List.filteri (fun i _ -> i mod 17 = 0) faults in
+  let detected =
+    List.length
+      (List.filter
+         (fun f ->
+           Bist.Session.detects plan ~module_:0 ~kind:Dfg.Op_kind.Add f
+             ~n_patterns:120)
+         sample)
+  in
+  check_bool "most faults shift the signature" true
+    (float_of_int detected >= 0.8 *. float_of_int (List.length sample))
+
+let test_session_coverage_api () =
+  let plan = fig1_plan_k2 () in
+  let r =
+    Bist.Session.session_coverage plan ~module_:0 ~kind:Dfg.Op_kind.Add
+      ~n_patterns:64
+  in
+  check_bool "coverage in range" true
+    (Bist.Fault_sim.coverage r >= 0.0 && Bist.Fault_sim.coverage r <= 100.0);
+  check_bool "nontrivial detection" true (r.Bist.Fault_sim.n_detected > 0)
+
+(* -- Test time ------------------------------------------------------------ *)
+
+let test_time_tradeoff () =
+  let p1 = fig1_plan_k1 () and p2 = fig1_plan_k2 () in
+  let t1 = Bist.Test_time.estimate p1 and t2 = Bist.Test_time.estimate p2 in
+  check_int "k=1 uses one session" 1 t1.Bist.Test_time.sessions_used;
+  check_int "k=2 uses two sessions" 2 t2.Bist.Test_time.sessions_used;
+  check_bool "fewer sessions test faster" true
+    (t1.Bist.Test_time.cycles < t2.Bist.Test_time.cycles);
+  check_bool "area/time trade-off" true
+    (Bist.Plan.area p1 > Bist.Plan.area p2);
+  (* both plans are Pareto-optimal: cheaper-but-slower vs dearer-but-faster *)
+  let front = Bist.Test_time.pareto [ (1, p1); (2, p2) ] in
+  check_int "both on the front" 2 (List.length front)
+
+let test_time_empty_sessions_skipped () =
+  (* a k=2 plan using only session 0 counts one session *)
+  let d = fig1_netlist () in
+  let plan =
+    Bist.Plan.make_exn d ~k:2 ~session_of_module:[| 0; 0 |]
+      ~sr_of_module:[| 2; 1 |]
+      ~tpg_of_port:[| [| 0; 1 |]; [| 0; 2 |] |]
+  in
+  let t = Bist.Test_time.estimate plan in
+  check_int "one used session" 1 t.Bist.Test_time.sessions_used
+
+let test_pareto_dominance () =
+  let p1 = fig1_plan_k1 () in
+  (* duplicating a plan: the duplicate is not strictly dominated, both kept;
+     a plan dominated on both axes is dropped *)
+  let front = Bist.Test_time.pareto [ (1, p1); (1, p1) ] in
+  check_int "ties kept" 2 (List.length front)
+
+(* -- Controller ----------------------------------------------------------- *)
+
+let test_controller_schedule_matches_kinds () =
+  let plan = fig1_plan_k2 () in
+  let steps = Bist.Controller.schedule plan in
+  check_int "two steps" 2 (List.length steps);
+  (* a register never in Normal mode across all sessions where it serves,
+     and the per-session modes agree with the plan's roles: session 0 tests
+     M0 (SR=R2, TPGs R0,R1); session 1 tests M1 (SR=R1... wait: plan k2:
+     sr = [|2;1|]? fig1_plan_k2 uses sr_of_module [|2;1|], tpg
+     [| [|0;1|]; [|0;2|] |] *)
+  (match steps with
+  | [ s0; s1 ] ->
+      check_int "session ids" 0 s0.Bist.Controller.session;
+      check_int "session ids" 1 s1.Bist.Controller.session;
+      Alcotest.(check (list string))
+        "session 0 modes"
+        [ "TPG"; "TPG"; "MISR" ]
+        (Array.to_list (Array.map Bist.Controller.mode_name s0.Bist.Controller.modes));
+      Alcotest.(check (list string))
+        "session 1 modes"
+        [ "TPG"; "MISR"; "TPG" ]
+        (Array.to_list (Array.map Bist.Controller.mode_name s1.Bist.Controller.modes))
+  | _ -> Alcotest.fail "expected two steps");
+  (* CBILBO case: k=1 plan has R1, R2 doing both *)
+  let steps1 = Bist.Controller.schedule (fig1_plan_k1 ()) in
+  match steps1 with
+  | [ s ] ->
+      Alcotest.(check (list string))
+        "k=1 concurrent modes"
+        [ "TPG"; "both"; "both" ]
+        (Array.to_list (Array.map Bist.Controller.mode_name s.Bist.Controller.modes))
+  | _ -> Alcotest.fail "expected one step"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_controller_verilog () =
+  let v = Bist.Controller.to_verilog (fig1_plan_k2 ()) in
+  check_bool "module" true (contains v "module bist_controller");
+  check_bool "mode ports" true (contains v "mode_r2");
+  check_bool "pattern counter" true (contains v "pattern_cnt");
+  check_bool "done" true (contains v "done_o <= 1");
+  check_bool "endmodule" true (contains v "endmodule")
+
+let test_controller_summary () =
+  let s = Bist.Controller.summary (fig1_plan_k2 ()) in
+  check_bool "mentions sessions" true (contains s "session 0");
+  check_bool "mentions MISR" true (contains s "MISR")
+
+(* -- Diagnosis ------------------------------------------------------------ *)
+
+let test_diagnosis_dictionary () =
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:4 in
+  let d = Bist.Diagnosis.build c ~seed_a:1 ~seed_b:7 ~misr_seed:1 ~n_patterns:15 in
+  check_int "covers all faults" (List.length (Bist.Fault_sim.faults c))
+    (Bist.Diagnosis.n_faults d);
+  (* every detected fault's diagnosis class contains the fault itself *)
+  List.iter
+    (fun f ->
+      let cls =
+        Bist.Diagnosis.diagnose d c f ~seed_a:1 ~seed_b:7 ~misr_seed:1
+          ~n_patterns:15
+      in
+      check_bool "true fault in its class" true (List.mem f cls))
+    (Bist.Diagnosis.detected_faults d);
+  check_bool "most faults detected" true
+    (List.length (Bist.Diagnosis.detected_faults d)
+    > Bist.Diagnosis.n_faults d / 2);
+  check_bool "ambiguity sane" true (Bist.Diagnosis.ambiguity d >= 1.0);
+  check_bool "unknown signature -> no candidates" true
+    (Bist.Diagnosis.lookup d 0xdead = []
+    || Bist.Diagnosis.lookup d 0xbeef = [] (* 4-bit sigs: one may collide *))
+
+let test_diagnosis_golden_lookup () =
+  let c = Bist.Gates.build Dfg.Op_kind.And ~width:4 in
+  let d = Bist.Diagnosis.build c ~seed_a:1 ~seed_b:5 ~misr_seed:1 ~n_patterns:15 in
+  (* looking up the golden signature yields exactly the undetected faults *)
+  let aliased = Bist.Diagnosis.lookup d (Bist.Diagnosis.golden d) in
+  let detected = Bist.Diagnosis.detected_faults d in
+  check_int "partition" (Bist.Diagnosis.n_faults d)
+    (List.length aliased + List.length detected)
+
+let test_diagnosis_more_patterns_sharper () =
+  let c = Bist.Gates.build Dfg.Op_kind.Add ~width:8 in
+  let det n =
+    let d = Bist.Diagnosis.build c ~seed_a:1 ~seed_b:7 ~misr_seed:1 ~n_patterns:n in
+    List.length (Bist.Diagnosis.detected_faults d)
+  in
+  check_bool "more patterns detect at least as much" true (det 64 >= det 4)
+
+let () =
+  Alcotest.run "bist"
+    [
+      ( "lfsr",
+        [
+          Alcotest.test_case "maximal period" `Quick test_lfsr_maximal_period;
+          Alcotest.test_case "never zero" `Quick test_lfsr_never_zero;
+          Alcotest.test_case "zero seed" `Quick test_lfsr_zero_seed;
+          Alcotest.test_case "bad width" `Quick test_lfsr_bad_width;
+          Alcotest.test_case "misr sensitivity" `Quick test_misr_sensitivity;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "4-bit exhaustive" `Quick test_gates_match_arith;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_gates_8bit ] );
+      ( "fault_sim",
+        [
+          Alcotest.test_case "fault list" `Quick test_fault_list_size;
+          Alcotest.test_case "adder coverage" `Quick test_adder_random_coverage;
+          Alcotest.test_case "monotone" `Quick test_single_pattern_low_coverage;
+          Alcotest.test_case "eval faulty" `Quick test_eval_faulty_differs;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "k=1 kinds" `Quick test_plan_k1_kinds;
+          Alcotest.test_case "k=2 kinds" `Quick test_plan_k2_kinds;
+          Alcotest.test_case "overhead" `Quick test_plan_overhead;
+          Alcotest.test_case "validity rules" `Quick test_plan_validity_rules;
+          Alcotest.test_case "constant TPGs" `Quick test_constant_tpg_accounting;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_session_signatures_deterministic;
+          Alcotest.test_case "detects faults" `Quick test_session_detects_faults;
+          Alcotest.test_case "coverage api" `Quick test_session_coverage_api;
+        ] );
+      ( "test_time",
+        [
+          Alcotest.test_case "trade-off" `Quick test_time_tradeoff;
+          Alcotest.test_case "empty sessions" `Quick
+            test_time_empty_sessions_skipped;
+          Alcotest.test_case "pareto" `Quick test_pareto_dominance;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "schedule" `Quick
+            test_controller_schedule_matches_kinds;
+          Alcotest.test_case "verilog" `Quick test_controller_verilog;
+          Alcotest.test_case "summary" `Quick test_controller_summary;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "dictionary" `Quick test_diagnosis_dictionary;
+          Alcotest.test_case "golden lookup" `Quick test_diagnosis_golden_lookup;
+          Alcotest.test_case "pattern count" `Quick
+            test_diagnosis_more_patterns_sharper;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the datapath substrate: the Table 1 area model, netlist
+   derivation from assignments (Fig. 1 is checked against the paper's
+   interconnect), multiplexer statistics, cycle simulation vs the reference
+   interpreter, and Verilog emission. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- Area model (Table 1) ------------------------------------------------ *)
+
+let test_table1_registers () =
+  check_int "Reg" 208 (Datapath.Area.register Datapath.Area.Plain);
+  check_int "TPG" 256 (Datapath.Area.register Datapath.Area.Tpg);
+  check_int "SR" 304 (Datapath.Area.register Datapath.Area.Sr);
+  check_int "BILBO" 388 (Datapath.Area.register Datapath.Area.Bilbo);
+  check_int "CBILBO" 596 (Datapath.Area.register Datapath.Area.Cbilbo)
+
+let test_table1_muxes () =
+  List.iter
+    (fun (n, c) -> check_int (Printf.sprintf "mux %d" n) c (Datapath.Area.mux n))
+    [ (0, 0); (1, 0); (2, 80); (3, 176); (4, 208); (5, 300); (6, 320); (7, 350) ];
+  check_int "mux 8 extrapolated" (350 + 54) (Datapath.Area.mux 8);
+  check_bool "monotone" true
+    (let rec mono n =
+       n > 16 || (Datapath.Area.mux n <= Datapath.Area.mux (n + 1) && mono (n + 1))
+     in
+     mono 0)
+
+(* -- Fig. 1 netlist ------------------------------------------------------ *)
+
+(* Paper assignment: R0={0,4}, R1={1,3,6}, R2={2,5,7}; M3=adder (our module
+   0), M4=multiplier (our module 1). *)
+let fig1_netlist () =
+  let p = Dfg.Benchmarks.fig1 in
+  let reg_of_var = [| 0; 1; 2; 1; 0; 2; 1; 2 |] in
+  let module_of_op = [| 0; 0; 1; 1 |] in
+  Datapath.Netlist.make_exn p ~reg_of_var ~module_of_op
+
+let test_fig1_interconnect () =
+  let d = fig1_netlist () in
+  (* Expected wires: add ops: (v0@R0,o0.0) (v1@R1,o0.1) (v3@R1,o1.0)
+     (v4@R0,o1.1); mul: (v4@R0,o2.0) (v2@R2,o2.1) (v5@R2,o3.0) (v6@R1,o3.1).
+     So R->port: R0->M0.0? wait o0 port0 reads v0 in R0: (0,0,0);
+     (1,0,1) v1@R1->M0.1; (1,0,0) v3@R1->M0.0; (0,0,1) v4@R0->M0.1;
+     (0,1,0) v4->M1.0; (2,1,1) v2->M1.1; (2,1,0) v5->M1.0; (1,1,1) v6->M1.1 *)
+  Alcotest.(check (list (triple int int int)))
+    "reg->port wires"
+    [ (0, 0, 0); (0, 0, 1); (0, 1, 0); (1, 0, 0); (1, 0, 1); (1, 1, 1);
+      (2, 1, 0); (2, 1, 1) ]
+    d.Datapath.Netlist.reg_to_port;
+  (* module->reg: o0 out v4@R0: (0,0); o1 out v5@R2: (0,2); o2 out v6@R1:
+     (1,1); o3 out v7@R2: (1,2) *)
+  Alcotest.(check (list (pair int int)))
+    "module->reg wires"
+    [ (0, 0); (0, 2); (1, 1); (1, 2) ]
+    d.Datapath.Netlist.module_to_reg
+
+let test_fig1_fanins () =
+  let d = fig1_netlist () in
+  check_int "M0 port0 fanin (R0,R1)" 2 (Datapath.Netlist.port_fanin d 0 0);
+  check_int "M0 port1 fanin (R0,R1)" 2 (Datapath.Netlist.port_fanin d 0 1);
+  check_int "M1 port0 fanin (R0,R2)" 2 (Datapath.Netlist.port_fanin d 1 0);
+  check_int "M1 port1 fanin (R1,R2)" 2 (Datapath.Netlist.port_fanin d 1 1);
+  (* registers: R0 loads inputs + M0 output: 2; R1 loads inputs + M1: 2;
+     R2 inputs + M0 + M1: 3 *)
+  check_int "R0 fanin" 2 (Datapath.Netlist.reg_fanin d 0);
+  check_int "R1 fanin" 2 (Datapath.Netlist.reg_fanin d 1);
+  check_int "R2 fanin" 3 (Datapath.Netlist.reg_fanin d 2);
+  check_int "total mux inputs" (2 + 2 + 2 + 2 + 2 + 2 + 3)
+    (Datapath.Netlist.total_mux_inputs d);
+  check_int "mux area" ((6 * Datapath.Area.mux 2) + Datapath.Area.mux 3)
+    (Datapath.Netlist.mux_area d);
+  check_int "reference area"
+    ((3 * 208) + (6 * 80) + 176)
+    (Datapath.Netlist.reference_area d)
+
+let test_netlist_validation () =
+  let p = Dfg.Benchmarks.fig1 in
+  (* v3 and v4 overlap at boundary 1: same register is illegal *)
+  check_bool "conflicting registers rejected" true
+    (Result.is_error
+       (Datapath.Netlist.make p ~reg_of_var:[| 0; 1; 2; 0; 0; 2; 1; 2 |]
+          ~module_of_op:[| 0; 0; 1; 1 |]));
+  (* mul op on the adder *)
+  check_bool "bad binding rejected" true
+    (Result.is_error
+       (Datapath.Netlist.make p ~reg_of_var:[| 0; 1; 2; 1; 0; 2; 1; 2 |]
+          ~module_of_op:[| 0; 0; 0; 1 |]));
+  (* swapping a non-commutative op *)
+  let p2 = Dfg.Benchmarks.paulin in
+  let reg = Hls.Regalloc.allocate p2.Dfg.Problem.dfg in
+  let binding =
+    match Hls.Binder.bind p2 with Ok b -> b | Error e -> Alcotest.fail e
+  in
+  let swapped = Array.make (Dfg.Graph.n_ops p2.Dfg.Problem.dfg) false in
+  (* op 9 of paulin is a subtraction *)
+  swapped.(9) <- true;
+  check_bool "swap of non-commutative rejected" true
+    (Result.is_error
+       (Datapath.Netlist.make ~swapped p2 ~reg_of_var:reg
+          ~module_of_op:binding))
+
+let test_constant_only_ports () =
+  (* fir6 multiplies by constants; with the default (unswapped) wiring the
+     multiplier's port 1 sees only constants. *)
+  let p = Circuits.Suite.fir6 in
+  let reg = Hls.Regalloc.allocate p.Dfg.Problem.dfg in
+  let binding =
+    match Hls.Binder.bind p with Ok b -> b | Error e -> Alcotest.fail e
+  in
+  let d = Datapath.Netlist.make_exn p ~reg_of_var:reg ~module_of_op:binding in
+  check_bool "fir6 has a constant-only port" true
+    (Datapath.Netlist.constant_only_ports d <> []);
+  (* fig1 has none *)
+  check_bool "fig1 has none" true
+    (Datapath.Netlist.constant_only_ports (fig1_netlist ()) = [])
+
+(* -- Simulation ---------------------------------------------------------- *)
+
+let test_eval_dfg_fig1 () =
+  let g = Dfg.Benchmarks.fig1.Dfg.Problem.dfg in
+  let values =
+    Datapath.Sim.eval_dfg g
+      ~inputs:[ ("v0", 3); ("v1", 5); ("v2", 2); ("v3", 7) ]
+  in
+  (* v4 = 3+5 = 8; v5 = 7+8 = 15; v6 = 8*2 = 16; v7 = 15*16 = 240 *)
+  check_int "v4" 8 values.(4);
+  check_int "v5" 15 values.(5);
+  check_int "v6" 16 values.(6);
+  check_int "v7" 240 values.(7)
+
+let test_sim_fig1 () =
+  let d = fig1_netlist () in
+  let inputs = [ ("v0", 3); ("v1", 5); ("v2", 2); ("v3", 7) ] in
+  (match Datapath.Sim.run d ~inputs with
+  | Error e -> Alcotest.fail e
+  | Ok trace ->
+      Alcotest.(check (list (pair string int)))
+        "outputs" [ ("v7", 240) ] trace.Datapath.Sim.outputs);
+  check_bool "agrees with interpreter" true (Datapath.Sim.agrees d ~inputs)
+
+let test_sim_missing_input () =
+  let d = fig1_netlist () in
+  check_bool "missing input detected" true
+    (Result.is_error (Datapath.Sim.run d ~inputs:[ ("v0", 1) ]))
+
+let test_sim_whole_suite () =
+  (* Left-edge + greedy binding must yield functionally correct datapaths on
+     all six circuits. *)
+  List.iteri
+    (fun idx (name, (p : Dfg.Problem.t)) ->
+      let g = p.Dfg.Problem.dfg in
+      let reg = Hls.Regalloc.allocate g in
+      let binding =
+        match Hls.Binder.bind p with Ok b -> b | Error e -> Alcotest.fail e
+      in
+      let d = Datapath.Netlist.make_exn p ~reg_of_var:reg ~module_of_op:binding in
+      let inputs =
+        List.map
+          (fun v ->
+            ( (Dfg.Graph.variable g v).Dfg.Graph.var_name,
+              (17 * (v + 1)) + idx ))
+          (Dfg.Graph.primary_inputs g)
+      in
+      check_bool (name ^ " simulates correctly") true
+        (Datapath.Sim.agrees d ~inputs))
+    Circuits.Suite.all
+
+(* -- Verilog ------------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_datapath_dot () =
+  let d = fig1_netlist () in
+  let plain = Datapath.Dot_dp.to_string d in
+  check_bool "digraph" true (contains plain "digraph datapath");
+  check_bool "register nodes" true (contains plain "r0 [label=\"R0\"");
+  check_bool "module records" true (contains plain "shape=record");
+  let kinds =
+    [| Datapath.Area.Tpg; Datapath.Area.Bilbo; Datapath.Area.Sr |]
+  in
+  let coloured = Datapath.Dot_dp.to_string ~reg_kinds:kinds d in
+  check_bool "kind label" true (contains coloured "BILBO");
+  check_bool "kind colour" true (contains coloured "lightgreen")
+
+let test_verilog () =
+  let d = fig1_netlist () in
+  let v = Datapath.Rtl.to_string d in
+  check_bool "module header" true (contains v "module fig1");
+  check_bool "endmodule" true (contains v "endmodule");
+  check_bool "registers declared" true (contains v "reg [7:0] R0;");
+  check_bool "fsm" true (contains v "step <= step + 1");
+  check_bool "an output" true (contains v "out_v7")
+
+(* -- Properties ---------------------------------------------------------- *)
+
+let gen_inputs =
+  QCheck2.Gen.(list_size (return 16) (int_range 0 255))
+
+let prop_suite_simulation =
+  QCheck2.Test.make ~name:"random inputs simulate correctly on all circuits"
+    ~count:50 gen_inputs (fun raw ->
+      let raw = Array.of_list raw in
+      List.for_all
+        (fun (_, (p : Dfg.Problem.t)) ->
+          let g = p.Dfg.Problem.dfg in
+          let reg = Hls.Regalloc.allocate g in
+          match Hls.Binder.bind p with
+          | Error _ -> false
+          | Ok binding ->
+              let d =
+                Datapath.Netlist.make_exn p ~reg_of_var:reg
+                  ~module_of_op:binding
+              in
+              let inputs =
+                List.mapi
+                  (fun i v ->
+                    ( (Dfg.Graph.variable g v).Dfg.Graph.var_name,
+                      raw.(i mod Array.length raw) ))
+                  (Dfg.Graph.primary_inputs g)
+              in
+              Datapath.Sim.agrees d ~inputs)
+        Circuits.Suite.all)
+
+let () =
+  Alcotest.run "datapath"
+    [
+      ( "area",
+        [
+          Alcotest.test_case "table1 registers" `Quick test_table1_registers;
+          Alcotest.test_case "table1 muxes" `Quick test_table1_muxes;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "fig1 interconnect" `Quick test_fig1_interconnect;
+          Alcotest.test_case "fig1 fanins" `Quick test_fig1_fanins;
+          Alcotest.test_case "validation" `Quick test_netlist_validation;
+          Alcotest.test_case "constant ports" `Quick test_constant_only_ports;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "eval fig1" `Quick test_eval_dfg_fig1;
+          Alcotest.test_case "run fig1" `Quick test_sim_fig1;
+          Alcotest.test_case "missing input" `Quick test_sim_missing_input;
+          Alcotest.test_case "whole suite" `Quick test_sim_whole_suite;
+        ] );
+      ( "rtl",
+        [
+          Alcotest.test_case "verilog" `Quick test_verilog;
+          Alcotest.test_case "dot" `Quick test_datapath_dot;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_suite_simulation ] );
+    ]

@@ -1,0 +1,382 @@
+(* Tests for the HLS substrate (the HYPER substitute): kernel construction,
+   CSE, ASAP/ALAP, list scheduling, register allocation, binding, and the
+   generated benchmark suite. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- Kernel -------------------------------------------------------------- *)
+
+let test_kernel_cse () =
+  let open Hls.Kernel in
+  let b = Build.create "cse" in
+  let x = Build.input b "x" and y = Build.input b "y" in
+  let a1 = Build.add b x y in
+  let a2 = Build.add b y x in
+  (* commutative normalized *)
+  check_bool "commutative CSE" true (a1 = a2);
+  let s1 = Build.sub b x y in
+  let s2 = Build.sub b y x in
+  check_bool "non-commutative distinct" true (s1 <> s2);
+  let k =
+    Build.output b "o" (Build.add b a1 s1);
+    Build.finish b
+  in
+  check_int "nodes" 4 (n_ops k)
+
+let test_kernel_counts () =
+  check_int "fir6 muls" 4 (Hls.Kernel.op_count Hls.Kernel.fir6 Dfg.Op_kind.Mul);
+  check_int "fir6 adds" 6 (Hls.Kernel.op_count Hls.Kernel.fir6 Dfg.Op_kind.Add);
+  check_int "iir3 muls" 7 (Hls.Kernel.op_count Hls.Kernel.iir3 Dfg.Op_kind.Mul);
+  check_int "dct4 muls" 6 (Hls.Kernel.op_count Hls.Kernel.dct4 Dfg.Op_kind.Mul);
+  check_int "wavelet6 muls" 12
+    (Hls.Kernel.op_count Hls.Kernel.wavelet6 Dfg.Op_kind.Mul)
+
+let test_output_must_be_op () =
+  let open Hls.Kernel in
+  let b = Build.create "bad" in
+  let x = Build.input b "x" in
+  check_bool "raises" true
+    (try
+       Build.output b "o" x;
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Scheduling ---------------------------------------------------------- *)
+
+let test_asap_alap () =
+  let k = Hls.Kernel.fir6 in
+  let asap = Hls.Schedule.asap k in
+  let cp = Hls.Schedule.critical_path k in
+  check_int "critical path" 4 cp;
+  (* pre-adds at 0, mults at <=1... every node within [asap, alap] *)
+  let alap = Hls.Schedule.alap k ~latency:cp in
+  Array.iteri
+    (fun i a -> check_bool (Printf.sprintf "asap<=alap %d" i) true (a <= alap.(i)))
+    asap;
+  check_bool "alap below latency" true
+    (Array.for_all (fun t -> t < cp) alap);
+  check_bool "tight latency raises" true
+    (try
+       ignore (Hls.Schedule.alap k ~latency:(cp - 1));
+       true
+     with Invalid_argument _ -> true)
+
+let test_schedule_respects_resources () =
+  List.iter
+    (fun (name, (p : Dfg.Problem.t)) ->
+      let g = p.Dfg.Problem.dfg in
+      (* at every step, ops of each kind <= number of supporting modules;
+         verified via greedy matching in Problem.make, which already ran.
+         Here check precedence: every op reads values produced earlier. *)
+      Array.iteri
+        (fun _o (op : Dfg.Graph.operation) ->
+          Array.iter
+            (function
+              | Dfg.Graph.Const _ -> ()
+              | Dfg.Graph.Var v -> (
+                  match Dfg.Graph.def_of g v with
+                  | Dfg.Graph.Primary_input -> ()
+                  | Dfg.Graph.Output_of o' ->
+                      check_bool
+                        (Printf.sprintf "%s: dep order" name)
+                        true
+                        ((Dfg.Graph.operation g o').Dfg.Graph.step < op.Dfg.Graph.step)))
+            op.Dfg.Graph.inputs)
+        g.Dfg.Graph.operations)
+    Circuits.Suite.all
+
+let test_suite_resource_counts () =
+  let expect = [ ("tseng", 5, 3); ("paulin", 5, 4); ("fir6", 7, 3);
+                 ("iir3", 6, 3); ("dct4", 6, 4); ("wavelet6", 8, 3) ] in
+  List.iter
+    (fun (name, regs, mods) ->
+      match Circuits.Suite.find name with
+      | None -> Alcotest.failf "missing circuit %s" name
+      | Some p ->
+          check_int (name ^ " registers") regs (Dfg.Problem.min_registers p);
+          check_int (name ^ " modules") mods (Dfg.Problem.n_modules p))
+    expect
+
+let test_ewf_stress_circuit () =
+  let p = Circuits.Suite.ewf in
+  let g = p.Dfg.Problem.dfg in
+  Alcotest.(check int) "ops" 26 (Dfg.Graph.n_ops g);
+  Alcotest.(check int) "modules" 4 (Dfg.Problem.n_modules p);
+  Alcotest.(check bool) "registers reasonable" true
+    (Dfg.Problem.min_registers p >= 8);
+  (* long dependence chain: critical path at least 14 *)
+  Alcotest.(check bool) "deep critical path" true
+    (Hls.Schedule.critical_path Hls.Kernel.ewf >= 14)
+
+let test_suite_order () =
+  Alcotest.(check (list string))
+    "paper order"
+    [ "tseng"; "paulin"; "fir6"; "iir3"; "dct4"; "wavelet6" ]
+    (List.map fst Circuits.Suite.all)
+
+(* -- ILP scheduling (exact oracle) ---------------------------------------- *)
+
+let test_sched_ilp_matches_or_beats_list () =
+  List.iter
+    (fun (k, modules) ->
+      match
+        ( Hls.Sched_ilp.min_latency k ~modules,
+          Hls.Schedule.list_schedule k ~modules )
+      with
+      | Ok exact, Ok heuristic ->
+          let le = exact.Dfg.Problem.dfg.Dfg.Graph.n_steps in
+          let lh = heuristic.Dfg.Problem.dfg.Dfg.Graph.n_steps in
+          Alcotest.(check bool) "ILP latency <= list latency" true (le <= lh);
+          Alcotest.(check bool) "ILP latency >= critical path" true
+            (le >= Hls.Schedule.critical_path k)
+      | Error msg, _ | _, Error msg -> Alcotest.fail msg)
+    [
+      (Hls.Kernel.fir6, [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]);
+      (Hls.Kernel.iir3, [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]);
+      (Hls.Kernel.dct4, [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]);
+    ]
+
+let test_sched_ilp_feasibility_boundary () =
+  (* below the critical path: trivially infeasible *)
+  let k = Hls.Kernel.fir6 in
+  let modules = [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ] in
+  (match Hls.Sched_ilp.feasible k ~modules ~latency:(Hls.Schedule.critical_path k - 1) with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "infeasible latency accepted"
+  | Error msg -> Alcotest.fail msg);
+  (* generous latency: always feasible *)
+  match Hls.Sched_ilp.feasible k ~modules ~latency:(Hls.Kernel.n_ops k + 5) with
+  | Ok (Some _) -> ()
+  | Ok None -> Alcotest.fail "generous latency rejected"
+  | Error msg -> Alcotest.fail msg
+
+(* -- Allocation exploration ----------------------------------------------- *)
+
+let test_allocate_required_classes () =
+  let classes = Hls.Allocate.required_classes Hls.Kernel.fir6 in
+  Alcotest.(check int) "two classes (alu + mul)" 2 (List.length classes)
+
+let test_allocate_explore_fir6 () =
+  let points = Hls.Allocate.explore ~max_per_class:2 Hls.Kernel.fir6 in
+  Alcotest.(check int) "4 allocations" 4 (List.length points);
+  List.iter
+    (fun (p : Hls.Allocate.point) ->
+      Alcotest.(check bool) "latency >= critical path" true
+        (p.Hls.Allocate.latency >= Hls.Schedule.critical_path Hls.Kernel.fir6))
+    points;
+  (* the front is non-empty and contains the cheapest allocation *)
+  let front = Hls.Allocate.pareto points in
+  Alcotest.(check bool) "front non-empty" true (front <> []);
+  Alcotest.(check bool) "cheapest on front" true
+    (List.exists (fun (p : Hls.Allocate.point) -> p.Hls.Allocate.total_units = 2) front)
+
+let test_allocate_cheapest_for_latency () =
+  (* at the critical path, fir6 needs more than one unit of something *)
+  let cp = Hls.Schedule.critical_path Hls.Kernel.fir6 in
+  (match Hls.Allocate.cheapest_for_latency ~max_per_class:3 Hls.Kernel.fir6 ~latency:cp with
+  | Ok p -> Alcotest.(check bool) "meets bound" true (p.Hls.Allocate.latency <= cp)
+  | Error _ ->
+      (* acceptable: the list scheduler may not reach the CP bound with <= 3
+         units per class *)
+      ());
+  (* an impossible bound fails with a clear message *)
+  Alcotest.(check bool) "impossible bound" true
+    (Result.is_error
+       (Hls.Allocate.cheapest_for_latency Hls.Kernel.fir6 ~latency:(cp - 1)))
+
+let test_allocate_monotone_front () =
+  let front = Hls.Allocate.pareto (Hls.Allocate.explore ~max_per_class:3 Hls.Kernel.wavelet6) in
+  (* on a Pareto front sorted by units, latency strictly decreases *)
+  let rec check = function
+    | (a : Hls.Allocate.point) :: (b : Hls.Allocate.point) :: rest ->
+        Alcotest.(check bool) "front shape" true
+          (a.Hls.Allocate.total_units < b.Hls.Allocate.total_units
+          && a.Hls.Allocate.latency > b.Hls.Allocate.latency);
+        check (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  check front
+
+(* -- Register allocation ------------------------------------------------- *)
+
+let test_left_edge_on_suite () =
+  List.iter
+    (fun (name, (p : Dfg.Problem.t)) ->
+      let g = p.Dfg.Problem.dfg in
+      let assignment = Hls.Regalloc.allocate g in
+      check_bool (name ^ " legal") true (Hls.Regalloc.check g assignment = Ok ());
+      check_int
+        (name ^ " uses min registers")
+        (Dfg.Problem.min_registers p)
+        (Hls.Regalloc.n_registers assignment))
+    Circuits.Suite.all
+
+let test_left_edge_fig1 () =
+  let g = Dfg.Benchmarks.fig1.Dfg.Problem.dfg in
+  let a = Hls.Regalloc.allocate g in
+  check_int "three registers" 3 (Hls.Regalloc.n_registers a);
+  check_bool "legal" true (Hls.Regalloc.check g a = Ok ());
+  (* check detects a broken assignment *)
+  let bad = Array.make (Dfg.Graph.n_vars g) 0 in
+  check_bool "detects conflicts" true (Result.is_error (Hls.Regalloc.check g bad))
+
+(* -- Binding ------------------------------------------------------------- *)
+
+let test_binder_on_suite () =
+  List.iter
+    (fun (name, p) ->
+      match Hls.Binder.bind p with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok binding ->
+          check_bool (name ^ " binding legal") true
+            (Hls.Binder.check p binding = Ok ()))
+    Circuits.Suite.all
+
+let test_binder_check_detects () =
+  let p = Dfg.Benchmarks.fig1 in
+  (* Both ops of step 1 on the same module: double-booked. *)
+  check_bool "double booking" true
+    (Result.is_error (Hls.Binder.check p [| 0; 0; 0; 1 |]));
+  (* Add op on the multiplier: unsupported. *)
+  check_bool "unsupported kind" true
+    (Result.is_error (Hls.Binder.check p [| 1; 0; 1; 1 |]))
+
+(* -- Properties ---------------------------------------------------------- *)
+
+let gen_kernel =
+  QCheck2.Gen.(
+    let* n_inputs = int_range 2 4 in
+    let* ops =
+      list_size (int_range 1 12)
+        (pair
+           (oneofl [ Dfg.Op_kind.Add; Dfg.Op_kind.Sub; Dfg.Op_kind.Mul ])
+           (pair (int_range 0 100) (int_range 0 100)))
+    in
+    return (n_inputs, ops))
+
+let build_kernel (n_inputs, ops) =
+  let open Hls.Kernel in
+  let b = Build.create "rand" in
+  let pool =
+    ref (List.init n_inputs (fun i -> Build.input b (Printf.sprintf "i%d" i)))
+  in
+  List.iter
+    (fun (kind, (sa, sb)) ->
+      let arr = Array.of_list !pool in
+      let x = arr.(sa mod Array.length arr) in
+      let y = arr.(sb mod Array.length arr) in
+      let r = Build.op b kind x y in
+      pool := r :: !pool)
+    ops;
+  (match !pool with
+  | r :: _ -> (try Build.output b "o" r with Invalid_argument _ -> ())
+  | [] -> ());
+  Build.finish b
+
+let prop_schedule_legal =
+  QCheck2.Test.make ~name:"list schedule produces valid problems" ~count:200
+    gen_kernel (fun spec ->
+      let k = build_kernel spec in
+      if Hls.Kernel.n_ops k = 0 then true
+      else
+        match
+          Hls.Schedule.list_schedule k
+            ~modules:[ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]
+        with
+        | Ok _ -> true
+        | Error _ -> false)
+
+let prop_regalloc_optimal =
+  QCheck2.Test.make ~name:"left edge always hits max crossing" ~count:200
+    gen_kernel (fun spec ->
+      let k = build_kernel spec in
+      if Hls.Kernel.n_ops k = 0 then true
+      else
+        match
+          Hls.Schedule.list_schedule k
+            ~modules:[ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]
+        with
+        | Error _ -> false
+        | Ok p ->
+            let g = p.Dfg.Problem.dfg in
+            let a = Hls.Regalloc.allocate g in
+            Hls.Regalloc.check g a = Ok ()
+            && Hls.Regalloc.n_registers a = Dfg.Problem.min_registers p)
+
+let prop_sched_ilp_random =
+  QCheck2.Test.make ~name:"ILP schedule valid and no worse than list" ~count:30
+    gen_kernel (fun spec ->
+      let k = build_kernel spec in
+      if Hls.Kernel.n_ops k = 0 || Hls.Kernel.n_ops k > 10 then true
+      else
+        let modules = [ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ] in
+        match
+          ( Hls.Sched_ilp.min_latency ~time_limit:20.0 k ~modules,
+            Hls.Schedule.list_schedule k ~modules )
+        with
+        | Ok exact, Ok heuristic ->
+            exact.Dfg.Problem.dfg.Dfg.Graph.n_steps
+            <= heuristic.Dfg.Problem.dfg.Dfg.Graph.n_steps
+        | Error _, _ | _, Error _ -> false)
+
+let prop_pressure_mode_legal =
+  QCheck2.Test.make ~name:"pressure-aware schedule is valid too" ~count:100
+    gen_kernel (fun spec ->
+      let k = build_kernel spec in
+      if Hls.Kernel.n_ops k = 0 then true
+      else
+        match
+          Hls.Schedule.list_schedule ~minimize_pressure:true k
+            ~modules:[ Dfg.Fu_kind.multiplier; Dfg.Fu_kind.alu ]
+        with
+        | Ok _ -> true
+        | Error _ -> false)
+
+let () =
+  Alcotest.run "hls"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "cse" `Quick test_kernel_cse;
+          Alcotest.test_case "counts" `Quick test_kernel_counts;
+          Alcotest.test_case "output validation" `Quick test_output_must_be_op;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "asap/alap" `Quick test_asap_alap;
+          Alcotest.test_case "resources" `Quick test_schedule_respects_resources;
+          Alcotest.test_case "suite counts" `Quick test_suite_resource_counts;
+          Alcotest.test_case "ewf" `Quick test_ewf_stress_circuit;
+          Alcotest.test_case "suite order" `Quick test_suite_order;
+        ] );
+      ( "sched_ilp",
+        [
+          Alcotest.test_case "beats list scheduler" `Quick
+            test_sched_ilp_matches_or_beats_list;
+          Alcotest.test_case "feasibility boundary" `Quick
+            test_sched_ilp_feasibility_boundary;
+        ] );
+      ( "allocate",
+        [
+          Alcotest.test_case "required classes" `Quick test_allocate_required_classes;
+          Alcotest.test_case "explore" `Quick test_allocate_explore_fir6;
+          Alcotest.test_case "cheapest for latency" `Quick
+            test_allocate_cheapest_for_latency;
+          Alcotest.test_case "front shape" `Quick test_allocate_monotone_front;
+        ] );
+      ( "regalloc",
+        [
+          Alcotest.test_case "suite" `Quick test_left_edge_on_suite;
+          Alcotest.test_case "fig1" `Quick test_left_edge_fig1;
+        ] );
+      ( "binder",
+        [
+          Alcotest.test_case "suite" `Quick test_binder_on_suite;
+          Alcotest.test_case "detects" `Quick test_binder_check_detects;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_schedule_legal; prop_regalloc_optimal; prop_pressure_mode_legal;
+            prop_sched_ilp_random ] );
+    ]

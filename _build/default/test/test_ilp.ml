@@ -1,0 +1,641 @@
+(* Tests for the ILP substrate: expressions, model audit, simplex on known
+   LPs, branch & bound on known ILPs, brute-force cross-checks on random
+   small models, LP-format output. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- Linexpr ------------------------------------------------------------- *)
+
+let test_linexpr_algebra () =
+  let open Ilp.Linexpr in
+  let e = of_list [ (2, 1); (3, 0); (-2, 1); (1, 2) ] in
+  Alcotest.(check (list (pair int int))) "collapse" [ (3, 0); (1, 2) ] (terms e);
+  check_int "coef present" 3 (coef e 0);
+  check_int "coef absent" 0 (coef e 5);
+  let f = add (var 0) (scale 2 (var 2)) in
+  Alcotest.(check (list (pair int int)))
+    "sum" [ (4, 0); (3, 2) ] (terms (add e f));
+  check_bool "zero" true (is_zero (sub e e));
+  check_int "n_terms" 2 (n_terms e)
+
+let test_linexpr_pp () =
+  let open Ilp.Linexpr in
+  let s = Format.asprintf "%a" (pp ()) (of_list [ (1, 0); (-2, 1); (1, 3) ]) in
+  Alcotest.(check string) "render" "x0 - 2 x1 + x3" s
+
+(* -- Model --------------------------------------------------------------- *)
+
+let knapsack () =
+  (* max 10a + 13b + 7c st 3a + 4b + 2c <= 6  ==  min -(...) *)
+  let m = Ilp.Model.create ~name:"knap" () in
+  let a = Ilp.Model.bool_var m "a" in
+  let b = Ilp.Model.bool_var m "b" in
+  let c = Ilp.Model.bool_var m "c" in
+  Ilp.Model.add_le m
+    (Ilp.Linexpr.of_list [ (3, a); (4, b); (2, c) ])
+    6;
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list [ (-10, a); (-13, b); (-7, c) ]);
+  (m, a, b, c)
+
+let test_model_check () =
+  let m, _, _, _ = knapsack () in
+  check_bool "feasible point" true (Ilp.Model.check m [| 1; 0; 1 |] = Ok ());
+  check_bool "infeasible point" true
+    (Result.is_error (Ilp.Model.check m [| 1; 1; 1 |]));
+  check_bool "bad arity" true (Result.is_error (Ilp.Model.check m [| 1; 1 |]));
+  check_bool "out of bounds" true
+    (Result.is_error (Ilp.Model.check m [| 2; 0; 0 |]));
+  check_int "objective" (-17) (Ilp.Model.objective_value m [| 1; 0; 1 |])
+
+(* -- Simplex ------------------------------------------------------------- *)
+
+let close what expected actual =
+  Alcotest.(check (float 1e-5)) what expected actual
+
+let test_simplex_basic () =
+  (* min -x - 2y st x + y <= 4, x <= 3, y <= 2, x,y >= 0: opt at (2,2) = -6 *)
+  let p =
+    {
+      Ilp.Simplex.n_vars = 2;
+      lower = [| 0.0; 0.0 |];
+      upper = [| 3.0; 2.0 |];
+      objective = [| -1.0; -2.0 |];
+      rows = [ (Ilp.Model.Le, [ (0, 1.0); (1, 1.0) ], 4.0) ];
+    }
+  in
+  match Ilp.Simplex.solve p with
+  | Ilp.Simplex.Optimal { objective; primal } ->
+      close "objective" (-6.0) objective;
+      close "x" 2.0 primal.(0);
+      close "y" 2.0 primal.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_phase1 () =
+  (* min x + y st x + y >= 3, x - y = 1, 0 <= x,y <= 10: opt (2,1) = 3 *)
+  let p =
+    {
+      Ilp.Simplex.n_vars = 2;
+      lower = [| 0.0; 0.0 |];
+      upper = [| 10.0; 10.0 |];
+      objective = [| 1.0; 1.0 |];
+      rows =
+        [
+          (Ilp.Model.Ge, [ (0, 1.0); (1, 1.0) ], 3.0);
+          (Ilp.Model.Eq, [ (0, 1.0); (1, -1.0) ], 1.0);
+        ];
+    }
+  in
+  match Ilp.Simplex.solve p with
+  | Ilp.Simplex.Optimal { objective; primal } ->
+      close "objective" 3.0 objective;
+      close "x" 2.0 primal.(0);
+      close "y" 1.0 primal.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let p =
+    {
+      Ilp.Simplex.n_vars = 1;
+      lower = [| 0.0 |];
+      upper = [| 1.0 |];
+      objective = [| 1.0 |];
+      rows = [ (Ilp.Model.Ge, [ (0, 1.0) ], 2.0) ];
+    }
+  in
+  check_bool "infeasible" true (Ilp.Simplex.solve p = Ilp.Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let p =
+    {
+      Ilp.Simplex.n_vars = 2;
+      lower = [| 0.0; 0.0 |];
+      upper = [| infinity; infinity |];
+      objective = [| -1.0; 0.0 |];
+      rows = [ (Ilp.Model.Le, [ (0, 1.0); (1, -1.0) ], 1.0) ];
+    }
+  in
+  check_bool "unbounded" true (Ilp.Simplex.solve p = Ilp.Simplex.Unbounded)
+
+let test_simplex_relax_knapsack () =
+  let m, _, _, _ = knapsack () in
+  match Ilp.Simplex.relax m with
+  | Ilp.Simplex.Optimal { objective; _ } ->
+      (* LP optimum: c=1, a=1, b=1/4 (ratios 3.5, 3.33, 3.25): -20.25 *)
+      close "lp bound" (-20.25) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* -- Branch & bound ------------------------------------------------------ *)
+
+let test_bb_knapsack () =
+  let m, _, _, _ = knapsack () in
+  let r = Ilp.Solver.solve m in
+  check_bool "optimal" true (r.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "objective (-20: b+c)" (-20)
+    (Option.get r.Ilp.Solver.objective);
+  match r.Ilp.Solver.solution with
+  | Some x -> check_bool "b and c chosen" true (x.(1) = 1 && x.(2) = 1 && x.(0) = 0)
+  | None -> Alcotest.fail "no solution"
+
+let test_bb_assignment () =
+  (* 3x3 assignment problem, cost matrix rows: [4 2 8; 4 3 7; 3 1 6].
+     Optimum: x01 + x10 + x22? cost 2 + 4 + 6 = 12; alternative x02.. let the
+     solver decide, optimal value is 12 (2,4,6) vs (4,3,6)=13, (8,3,3)=14;
+     best is col order (1,0,2) -> 2+4+6 = 12. *)
+  let cost = [| [| 4; 2; 8 |]; [| 4; 3; 7 |]; [| 3; 1; 6 |] |] in
+  let m = Ilp.Model.create ~name:"assign" () in
+  let x =
+    Array.init 3 (fun i ->
+        Array.init 3 (fun j ->
+            Ilp.Model.bool_var m (Printf.sprintf "x%d%d" i j)))
+  in
+  for i = 0 to 2 do
+    Ilp.Model.add_eq m
+      (Ilp.Linexpr.sum (List.init 3 (fun j -> Ilp.Linexpr.var x.(i).(j))))
+      1;
+    Ilp.Model.add_eq m
+      (Ilp.Linexpr.sum (List.init 3 (fun j -> Ilp.Linexpr.var x.(j).(i))))
+      1
+  done;
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list
+       (List.concat
+          (List.init 3 (fun i ->
+               List.init 3 (fun j -> (cost.(i).(j), x.(i).(j)))))));
+  let r = Ilp.Solver.solve m in
+  check_bool "optimal" true (r.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "objective" 12 (Option.get r.Ilp.Solver.objective)
+
+let test_bb_infeasible () =
+  let m = Ilp.Model.create () in
+  let a = Ilp.Model.bool_var m "a" in
+  let b = Ilp.Model.bool_var m "b" in
+  Ilp.Model.add_ge m (Ilp.Linexpr.of_list [ (1, a); (1, b) ]) 2;
+  Ilp.Model.add_le m (Ilp.Linexpr.of_list [ (1, a); (1, b) ]) 1;
+  let r = Ilp.Solver.solve m in
+  check_bool "infeasible" true (r.Ilp.Solver.status = Ilp.Solver.Infeasible)
+
+let test_bb_integer_vars () =
+  (* min 3x + 4y st 2x + y >= 7, x + 3y >= 9, x,y in [0,10] integer.
+     LP opt at intersection (2.4, 2.2); integer optimum: try x=3,y=2:
+     2*3+2=8>=7, 3+6=9>=9, cost 17. x=2,y=3: 4+3=7, 2+9=11, cost 18.
+     x=4,y=2 -> cost 20. x=3,y=2 = 17 wins; x=0,y=7 -> 28. *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.int_var m ~lb:0 ~ub:10 "x" in
+  let y = Ilp.Model.int_var m ~lb:0 ~ub:10 "y" in
+  Ilp.Model.add_ge m (Ilp.Linexpr.of_list [ (2, x); (1, y) ]) 7;
+  Ilp.Model.add_ge m (Ilp.Linexpr.of_list [ (1, x); (3, y) ]) 9;
+  Ilp.Model.set_objective m (Ilp.Linexpr.of_list [ (3, x); (4, y) ]);
+  let r = Ilp.Solver.solve m in
+  check_bool "optimal" true (r.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "objective" 17 (Option.get r.Ilp.Solver.objective)
+
+let test_bb_warm_start () =
+  let m, _, _, _ = knapsack () in
+  let opts =
+    { Ilp.Solver.default with Ilp.Solver.warm_start = Some [| 0; 1; 1 |] }
+  in
+  let r = Ilp.Solver.solve ~options:opts m in
+  check_bool "optimal" true (r.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "objective" (-20) (Option.get r.Ilp.Solver.objective)
+
+let test_bb_node_limit () =
+  let m, _, _, _ = knapsack () in
+  let opts = { Ilp.Solver.default with Ilp.Solver.node_limit = Some 1 } in
+  let r = Ilp.Solver.solve ~options:opts m in
+  check_bool "stopped early" true
+    (r.Ilp.Solver.status = Ilp.Solver.Feasible
+    || r.Ilp.Solver.status = Ilp.Solver.Unknown
+    || r.Ilp.Solver.status = Ilp.Solver.Optimal (* tiny model may finish *))
+
+let test_bb_equality_propagation () =
+  (* sum of 5 binaries = 1 with costs; optimal picks cheapest. *)
+  let m = Ilp.Model.create () in
+  let xs = Array.init 5 (fun i -> Ilp.Model.bool_var m (Printf.sprintf "x%d" i)) in
+  Ilp.Model.add_eq m
+    (Ilp.Linexpr.sum (Array.to_list (Array.map Ilp.Linexpr.var xs)))
+    1;
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list (Array.to_list (Array.mapi (fun i x -> (10 - i, x)) xs)));
+  let r = Ilp.Solver.solve m in
+  check_int "cheapest" 6 (Option.get r.Ilp.Solver.objective)
+
+let test_bb_edge_cases () =
+  (* empty model: vacuously optimal at objective 0 *)
+  let m = Ilp.Model.create () in
+  let r = Ilp.Solver.solve m in
+  check_bool "empty model optimal" true (r.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "empty objective" 0 (Option.get r.Ilp.Solver.objective);
+  (* unconstrained variable: sits at the bound its cost prefers *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.int_var m ~lb:(-3) ~ub:9 "x" in
+  Ilp.Model.set_objective m (Ilp.Linexpr.var x);
+  let r = Ilp.Solver.solve m in
+  check_int "lower bound chosen" (-3) (Option.get r.Ilp.Solver.objective);
+  (* constraint with empty expression: 0 <= -1 infeasible, 0 <= 3 redundant *)
+  let m = Ilp.Model.create () in
+  let _ = Ilp.Model.bool_var m "a" in
+  Ilp.Model.add_le m Ilp.Linexpr.zero (-1);
+  check_bool "0 <= -1 infeasible" true
+    ((Ilp.Solver.solve m).Ilp.Solver.status = Ilp.Solver.Infeasible);
+  let m = Ilp.Model.create () in
+  let a = Ilp.Model.bool_var m "a" in
+  Ilp.Model.add_le m Ilp.Linexpr.zero 3;
+  Ilp.Model.set_objective m (Ilp.Linexpr.var a);
+  check_int "0 <= 3 harmless" 0 (Option.get (Ilp.Solver.solve m).Ilp.Solver.objective)
+
+let test_bb_negative_bounds () =
+  (* integers spanning zero: min x + y st x - y >= -2, x,y in [-5,5]:
+     optimum x=-5, y=-5 (0 >= -2 holds) -> -10 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.int_var m ~lb:(-5) ~ub:5 "x" in
+  let y = Ilp.Model.int_var m ~lb:(-5) ~ub:5 "y" in
+  Ilp.Model.add_ge m (Ilp.Linexpr.of_list [ (1, x); (-1, y) ]) (-2);
+  Ilp.Model.set_objective m (Ilp.Linexpr.of_list [ (1, x); (1, y) ]);
+  let r = Ilp.Solver.solve m in
+  check_bool "optimal" true (r.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "objective" (-10) (Option.get r.Ilp.Solver.objective);
+  (* tighter: x - y >= 2 forces y <= x - 2: optimum x=-3, y=-5 -> -8 *)
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.int_var m ~lb:(-5) ~ub:5 "x" in
+  let y = Ilp.Model.int_var m ~lb:(-5) ~ub:5 "y" in
+  Ilp.Model.add_ge m (Ilp.Linexpr.of_list [ (1, x); (-1, y) ]) 2;
+  Ilp.Model.set_objective m (Ilp.Linexpr.of_list [ (1, x); (1, y) ]);
+  check_int "objective tight" (-8)
+    (Option.get (Ilp.Solver.solve m).Ilp.Solver.objective)
+
+let test_simplex_equalities_only () =
+  (* x + y = 3, x - y = 1 -> (2,1); minimize x *)
+  let q =
+    {
+      Ilp.Simplex.n_vars = 2;
+      lower = [| 0.0; 0.0 |];
+      upper = [| 10.0; 10.0 |];
+      objective = [| 1.0; 0.0 |];
+      rows =
+        [
+          (Ilp.Model.Eq, [ (0, 1.0); (1, 1.0) ], 3.0);
+          (Ilp.Model.Eq, [ (0, 1.0); (1, -1.0) ], 1.0);
+        ];
+    }
+  in
+  match Ilp.Simplex.solve q with
+  | Ilp.Simplex.Optimal { objective; primal } ->
+      close "x" 2.0 primal.(0);
+      close "y" 1.0 primal.(1);
+      close "obj" 2.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_no_rows () =
+  let q =
+    {
+      Ilp.Simplex.n_vars = 2;
+      lower = [| 1.0; 0.0 |];
+      upper = [| 4.0; 2.0 |];
+      objective = [| 1.0; -1.0 |];
+      rows = [];
+    }
+  in
+  match Ilp.Simplex.solve q with
+  | Ilp.Simplex.Optimal { objective; _ } -> close "bounds only" (-1.0) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* -- Brute-force cross-check on random models ---------------------------- *)
+
+let gen_small_model =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* n_rows = int_range 1 6 in
+    let* obj = list_size (return n) (int_range (-8) 8) in
+    let* rows =
+      list_size (return n_rows)
+        (let* terms = list_size (return n) (int_range (-4) 4) in
+         let* sense = oneofl [ Ilp.Model.Le; Ilp.Model.Ge; Ilp.Model.Eq ] in
+         let* rhs = int_range (-4) 6 in
+         return (terms, sense, rhs))
+    in
+    return (n, obj, rows))
+
+let build_model (n, obj, rows) =
+  let m = Ilp.Model.create ~name:"rand" () in
+  let xs = Array.init n (fun i -> Ilp.Model.bool_var m (Printf.sprintf "x%d" i)) in
+  List.iter
+    (fun (terms, sense, rhs) ->
+      let e =
+        Ilp.Linexpr.of_list (List.mapi (fun i c -> (c, xs.(i))) terms)
+      in
+      (* Skip empty-expression equalities that are trivially (in)feasible;
+         they are legal but uninteresting. *)
+      Ilp.Model.add m e sense rhs)
+    rows;
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list (List.mapi (fun i c -> (c, xs.(i))) obj));
+  m
+
+let brute_force m =
+  let n = Ilp.Model.n_vars m in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> (mask lsr i) land 1) in
+    if Ilp.Model.check m x = Ok () then begin
+      let obj = Ilp.Model.objective_value m x in
+      match !best with
+      | Some b when b <= obj -> ()
+      | Some _ | None -> best := Some obj
+    end
+  done;
+  !best
+
+let prop_bb_matches_brute_force =
+  QCheck2.Test.make ~name:"B&B = brute force on random 0-1 models" ~count:300
+    gen_small_model (fun spec ->
+      let m = build_model spec in
+      let r = Ilp.Solver.solve m in
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | None, _ -> false
+      | Some _, Ilp.Solver.Infeasible -> false
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+      | Some _, (Ilp.Solver.Feasible | Ilp.Solver.Unknown) -> false)
+
+let prop_bb_without_lp_matches =
+  QCheck2.Test.make ~name:"B&B without LP matches brute force" ~count:200
+    gen_small_model (fun spec ->
+      let m = build_model spec in
+      let opts = { Ilp.Solver.default with Ilp.Solver.lp = Ilp.Solver.Lp_never } in
+      let r = Ilp.Solver.solve ~options:opts m in
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | None, _ -> false
+      | Some _, Ilp.Solver.Infeasible -> false
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+      | Some _, (Ilp.Solver.Feasible | Ilp.Solver.Unknown) -> false)
+
+let prop_lp_is_lower_bound =
+  QCheck2.Test.make ~name:"LP relaxation lower-bounds the ILP optimum"
+    ~count:200 gen_small_model (fun spec ->
+      let m = build_model spec in
+      match (brute_force m, Ilp.Simplex.relax m) with
+      | Some opt, Ilp.Simplex.Optimal { objective; _ } ->
+          objective <= float_of_int opt +. 1e-6
+      | None, _ -> true (* nothing to compare *)
+      | Some _, Ilp.Simplex.Infeasible -> false
+      | Some _, (Ilp.Simplex.Unbounded | Ilp.Simplex.Iteration_limit) -> true)
+
+(* -- Presolve ------------------------------------------------------------- *)
+
+let test_presolve_detects_infeasible () =
+  let m = Ilp.Model.create () in
+  let a = Ilp.Model.bool_var m "a" in
+  Ilp.Model.add_ge m (Ilp.Linexpr.var a) 2;
+  let m', stats = Ilp.Presolve.strengthen m in
+  check_bool "infeasible" true stats.Ilp.Presolve.infeasible;
+  check_bool "solver agrees" true
+    ((Ilp.Solver.solve m').Ilp.Solver.status = Ilp.Solver.Infeasible)
+
+let test_presolve_drops_redundant () =
+  let m = Ilp.Model.create () in
+  let a = Ilp.Model.bool_var m "a" in
+  let b = Ilp.Model.bool_var m "b" in
+  Ilp.Model.add_le m (Ilp.Linexpr.of_list [ (1, a); (1, b) ]) 5;
+  (* always true *)
+  let stats = Ilp.Presolve.analyze m in
+  check_int "dropped" 1 stats.Ilp.Presolve.dropped_rows
+
+let test_presolve_fixes_variables () =
+  let m = Ilp.Model.create () in
+  let a = Ilp.Model.bool_var m "a" in
+  let b = Ilp.Model.bool_var m "b" in
+  Ilp.Model.add_ge m (Ilp.Linexpr.of_list [ (1, a); (1, b) ]) 2;
+  (* both forced to 1 *)
+  let stats = Ilp.Presolve.analyze m in
+  check_int "fixed" 2 stats.Ilp.Presolve.fixed_vars
+
+let test_presolve_strengthens () =
+  (* 5a + b <= 5: maxact 6, d = 1, a_0 = 5 > 1: coefficient shrinks to d,
+     giving a + b <= 1; feasible sets identical: (0,0),(0,1),(1,0). *)
+  let m = Ilp.Model.create () in
+  let a = Ilp.Model.bool_var m "a" in
+  let b = Ilp.Model.bool_var m "b" in
+  Ilp.Model.add_le m (Ilp.Linexpr.of_list [ (5, a); (1, b) ]) 5;
+  let m', stats = Ilp.Presolve.strengthen m in
+  check_int "strengthened" 1 stats.Ilp.Presolve.strengthened_coefs;
+  let ok_points = [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |] ] in
+  List.iter
+    (fun x -> check_bool "still feasible" true (Ilp.Model.check m' x = Ok ()))
+    ok_points;
+  check_bool "still infeasible" true
+    (Result.is_error (Ilp.Model.check m' [| 1; 1 |]))
+
+let prop_presolve_preserves_feasible_set =
+  QCheck2.Test.make ~name:"presolve preserves the 0-1 feasible set"
+    ~count:300 gen_small_model (fun spec ->
+      let m = build_model spec in
+      let m', stats = Ilp.Presolve.strengthen m in
+      let n = Ilp.Model.n_vars m in
+      if stats.Ilp.Presolve.infeasible then brute_force m = None
+      else begin
+        let same = ref true in
+        for mask = 0 to (1 lsl n) - 1 do
+          let x = Array.init n (fun i -> (mask lsr i) land 1) in
+          let f1 = Ilp.Model.check m x = Ok () in
+          let f2 = Ilp.Model.check m' x = Ok () in
+          if f1 <> f2 then same := false
+        done;
+        !same
+      end)
+
+let prop_presolve_preserves_optimum =
+  QCheck2.Test.make ~name:"presolve preserves the optimum" ~count:200
+    gen_small_model (fun spec ->
+      let m = build_model spec in
+      let m', _ = Ilp.Presolve.strengthen m in
+      let r = Ilp.Solver.solve m in
+      let r' = Ilp.Solver.solve m' in
+      match (r.Ilp.Solver.status, r'.Ilp.Solver.status) with
+      | Ilp.Solver.Infeasible, Ilp.Solver.Infeasible -> true
+      | Ilp.Solver.Optimal, Ilp.Solver.Optimal ->
+          r.Ilp.Solver.objective = r'.Ilp.Solver.objective
+      | _, _ -> false)
+
+(* -- LP format ----------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_lp_format () =
+  let m, _, _, _ = knapsack () in
+  let s = Ilp.Lp_format.to_string m in
+  check_bool "minimize" true (contains s "Minimize");
+  check_bool "subject to" true (contains s "Subject To");
+  check_bool "binary section" true (contains s "Binary");
+  check_bool "constraint" true (contains s "3 a + 4 b + 2 c <= 6");
+  check_bool "end" true (contains s "End")
+
+let test_lp_parse_knapsack () =
+  let src =
+    {|\ a comment
+Maximize
+ obj: 10 a + 13 b + 7 c
+Subject To
+ cap: 3 a + 4 b + 2 c <= 6
+Binary
+ a
+ b
+ c
+End
+|}
+  in
+  match Ilp.Lp_parse.of_string src with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok { Ilp.Lp_parse.model; negated } ->
+      check_bool "negated" true negated;
+      check_int "3 vars" 3 (Ilp.Model.n_vars model);
+      let r = Ilp.Solver.solve model in
+      check_int "objective (-20, maximize 20)" (-20)
+        (Option.get r.Ilp.Solver.objective)
+
+let test_lp_parse_bounds_forms () =
+  let src =
+    {|Minimize
+ obj: x + y + z
+Subject To
+ c1: x + y + z >= 4
+Bounds
+ 1 <= x <= 5
+ y >= 2
+ z = 1
+General
+ x
+ y
+ z
+End
+|}
+  in
+  match Ilp.Lp_parse.of_string src with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok { Ilp.Lp_parse.model; negated } ->
+      check_bool "not negated" false negated;
+      let r = Ilp.Solver.solve model in
+      (* x >= 1, y >= 2, z = 1: already sums to 4 *)
+      check_int "objective" 4 (Option.get r.Ilp.Solver.objective)
+
+let test_lp_parse_errors () =
+  List.iter
+    (fun src ->
+      check_bool
+        (Printf.sprintf "reject %s" (String.sub src 0 (min 25 (String.length src))))
+        true
+        (Result.is_error (Ilp.Lp_parse.of_string src)))
+    [
+      "";
+      "Bounds
+ x <= 3
+End";
+      "Minimize obj: 1.5 x
+Subject To
+ c: x <= 1
+End";
+      "Minimize obj: x
+Subject To
+ c: x
+End";
+      "Minimize obj: x
+Subject To
+ c: x <= y
+End";
+    ]
+
+let prop_lp_roundtrip =
+  QCheck2.Test.make ~name:"LP write/parse/solve roundtrip" ~count:100
+    gen_small_model (fun spec ->
+      let m = build_model spec in
+      let src = Ilp.Lp_format.to_string m in
+      match Ilp.Lp_parse.of_string src with
+      | Error _ -> false
+      | Ok { Ilp.Lp_parse.model = m'; negated } ->
+          (not negated)
+          &&
+          let r = Ilp.Solver.solve m in
+          let r' = Ilp.Solver.solve m' in
+          (match (r.Ilp.Solver.status, r'.Ilp.Solver.status) with
+          | Ilp.Solver.Infeasible, Ilp.Solver.Infeasible -> true
+          | Ilp.Solver.Optimal, Ilp.Solver.Optimal ->
+              r.Ilp.Solver.objective = r'.Ilp.Solver.objective
+          | _, _ -> false))
+
+let test_lp_format_sanitize () =
+  let m = Ilp.Model.create () in
+  let _ = Ilp.Model.bool_var m "x[1,2]" in
+  let _ = Ilp.Model.int_var m ~lb:(-3) ~ub:5 "0weird name" in
+  Ilp.Model.set_objective m (Ilp.Linexpr.var 0);
+  let s = Ilp.Lp_format.to_string m in
+  check_bool "sanitized name used" true (contains s "x_1_2_");
+  check_bool "general section" true (contains s "General")
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "algebra" `Quick test_linexpr_algebra;
+          Alcotest.test_case "pp" `Quick test_linexpr_pp;
+        ] );
+      ("model", [ Alcotest.test_case "check" `Quick test_model_check ]);
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "phase1" `Quick test_simplex_phase1;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "relax knapsack" `Quick test_simplex_relax_knapsack;
+          Alcotest.test_case "equalities only" `Quick test_simplex_equalities_only;
+          Alcotest.test_case "no rows" `Quick test_simplex_no_rows;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
+          Alcotest.test_case "assignment" `Quick test_bb_assignment;
+          Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
+          Alcotest.test_case "integer vars" `Quick test_bb_integer_vars;
+          Alcotest.test_case "warm start" `Quick test_bb_warm_start;
+          Alcotest.test_case "node limit" `Quick test_bb_node_limit;
+          Alcotest.test_case "eq propagation" `Quick test_bb_equality_propagation;
+          Alcotest.test_case "edge cases" `Quick test_bb_edge_cases;
+          Alcotest.test_case "negative bounds" `Quick test_bb_negative_bounds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bb_matches_brute_force;
+            prop_bb_without_lp_matches;
+            prop_lp_is_lower_bound;
+          ] );
+      ( "lp_format",
+        [
+          Alcotest.test_case "render" `Quick test_lp_format;
+          Alcotest.test_case "sanitize" `Quick test_lp_format_sanitize;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "infeasible" `Quick test_presolve_detects_infeasible;
+          Alcotest.test_case "redundant" `Quick test_presolve_drops_redundant;
+          Alcotest.test_case "fixing" `Quick test_presolve_fixes_variables;
+          Alcotest.test_case "strengthening" `Quick test_presolve_strengthens;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_presolve_preserves_feasible_set;
+              prop_presolve_preserves_optimum ] );
+      ( "lp_parse",
+        [
+          Alcotest.test_case "knapsack" `Quick test_lp_parse_knapsack;
+          Alcotest.test_case "bounds forms" `Quick test_lp_parse_bounds_forms;
+          Alcotest.test_case "errors" `Quick test_lp_parse_errors;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_lp_roundtrip ] );
+    ]
