@@ -1,0 +1,25 @@
+# Convenience targets around dune.
+
+.PHONY: all build test bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full paper-table benchmark (long; budget in seconds via ADVBIST_BENCH_BUDGET).
+bench:
+	dune exec bench/main.exe -- all
+
+# Machine-readable solver perf snapshot for CI trend tracking: per-circuit,
+# per-k wall time / node counts / optimality flags at a tight 2 s budget.
+# Writes BENCH_solver.json in the repo root (override: ADVBIST_BENCH_JSON).
+bench-json:
+	ADVBIST_BENCH_BUDGET=2 ADVBIST_BENCH_JSON=$(CURDIR)/BENCH_solver.json \
+		dune exec bench/main.exe -- json
+
+clean:
+	dune clean

@@ -4,16 +4,20 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- tables       -- only the table regeneration
      dune exec bench/main.exe -- micro        -- only the Bechamel benches
+     dune exec bench/main.exe -- json         -- solver perf -> BENCH_solver.json
 
    The ILP budget per instance defaults to 10 s (the paper allowed 24 CPU
    hours per instance on CPLEX 6.0); override with ADVBIST_BENCH_BUDGET
-   (seconds).  Timed-out entries are marked with '*', exactly like the
+   (seconds).  ADVBIST_JOBS > 1 farms independent per-k ILPs out to a
+   domain pool.  Timed-out entries are marked with '*', exactly like the
    paper's Table 2. *)
 
 let budget =
   match Sys.getenv_opt "ADVBIST_BENCH_BUDGET" with
   | Some s -> (try float_of_string s with Failure _ -> 10.0)
   | None -> 10.0
+
+let jobs = Ilp.Pool.default_jobs ()
 
 let line = String.make 78 '-'
 
@@ -344,8 +348,67 @@ let micro () =
     tests;
   Printf.printf "\n"
 
+(* ------------------------------------------------- solver perf tracking *)
+
+(* Machine-readable solver performance: one full k-sweep per circuit at
+   the current budget, recorded as BENCH_solver.json (wall time, node
+   count and optimality per circuit per k) so the perf trajectory is
+   tracked across PRs.  Hand-rolled JSON — no external dependency. *)
+let bench_json () =
+  let path =
+    Option.value (Sys.getenv_opt "ADVBIST_BENCH_JSON")
+      ~default:"BENCH_solver.json"
+  in
+  let buf = Buffer.create 4096 in
+  let started = Unix.gettimeofday () in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"advbist-solver-bench/1\",\n";
+  Printf.bprintf buf "  \"budget_s\": %g,\n" budget;
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Buffer.add_string buf "  \"circuits\": [";
+  let first_circuit = ref true in
+  List.iter
+    (fun (name, p) ->
+      Printf.printf "json: sweeping %s (k = 1..%d, %d jobs)...\n%!" name
+        (Dfg.Problem.n_modules p)
+        jobs;
+      let t0 = Unix.gettimeofday () in
+      match Advbist.Synth.sweep ~time_limit:budget ~jobs p with
+      | Error msg -> Printf.printf "json: %s: %s\n" name msg
+      | Ok (reference, rows) ->
+          let wall = Unix.gettimeofday () -. t0 in
+          if not !first_circuit then Buffer.add_char buf ',';
+          first_circuit := false;
+          Printf.bprintf buf
+            "\n    { \"circuit\": %S, \"reference_area\": %d, \
+             \"reference_optimal\": %b, \"wall_s\": %.3f,\n      \"rows\": ["
+            name reference.Advbist.Synth.ref_area
+            reference.Advbist.Synth.ref_optimal wall;
+          List.iteri
+            (fun i (row : Advbist.Synth.sweep_row) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Printf.bprintf buf
+                "\n        { \"k\": %d, \"time_s\": %.3f, \"nodes\": %d, \
+                 \"optimal\": %b, \"area\": %d, \"overhead_pct\": %.2f }"
+                row.Advbist.Synth.k
+                row.Advbist.Synth.outcome.Advbist.Synth.solve_time
+                row.Advbist.Synth.outcome.Advbist.Synth.nodes
+                row.Advbist.Synth.outcome.Advbist.Synth.optimal
+                row.Advbist.Synth.outcome.Advbist.Synth.area
+                row.Advbist.Synth.overhead_pct)
+            rows;
+          Buffer.add_string buf " ] }")
+    Circuits.Suite.all;
+  Printf.bprintf buf "\n  ],\n  \"total_wall_s\": %.3f\n}\n"
+    (Unix.gettimeofday () -. started);
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "json: wrote %s\n" path
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "json" then bench_json ();
   if what = "all" || what = "tables" then begin
     table1 ();
     table2 ();

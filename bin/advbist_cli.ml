@@ -69,6 +69,24 @@ let time_limit_arg =
     & info [ "t"; "time-limit" ] ~docv:"SECONDS"
         ~doc:"Solver time limit per ILP (the paper used 24 CPU hours).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Ilp.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Solve independent ILPs on N parallel domains (default: \
+           \\$(b,ADVBIST_JOBS) from the environment, else 1).")
+
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race diverse solver configurations on a domain pool with a \
+           shared incumbent bound instead of a single branch-and-bound \
+           run.")
+
 let k_arg =
   Arg.(
     value
@@ -174,7 +192,7 @@ let ref_cmd =
 (* -- synth --------------------------------------------------------------- *)
 
 let synth_cmd =
-  let run circuit file time_limit k meth verilog lp =
+  let run circuit file time_limit k meth verilog lp portfolio =
     let p = or_die (load ~circuit ~file) in
     let k = Option.value k ~default:(Dfg.Problem.n_modules p) in
     Option.iter
@@ -186,7 +204,9 @@ let synth_cmd =
     let plan, tag =
       match meth with
       | `Advbist ->
-          let o = or_die (Advbist.Synth.synthesize ~time_limit p ~k) in
+          let o =
+            or_die (Advbist.Synth.synthesize ~time_limit ~portfolio p ~k)
+          in
           ( o.Advbist.Synth.plan,
             if o.Advbist.Synth.optimal then "optimal" else "time limit *" )
       | `Advan -> (or_die (Baselines.Advan.synthesize p ~k), "heuristic")
@@ -209,14 +229,14 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a built-in self-testable data path.")
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ k_arg $ method_arg
-      $ verilog_arg $ lp_arg)
+      $ verilog_arg $ lp_arg $ portfolio_arg)
 
 (* -- sweep --------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run circuit file time_limit fmt =
+  let run circuit file time_limit fmt jobs =
     let p = or_die (load ~circuit ~file) in
-    let reference, rows = or_die (Advbist.Synth.sweep ~time_limit p) in
+    let reference, rows = or_die (Advbist.Synth.sweep ~time_limit ~jobs p) in
     Format.printf "reference area %d%s@." reference.Advbist.Synth.ref_area
       (if reference.Advbist.Synth.ref_optimal then "" else " *");
     print_string
@@ -225,7 +245,9 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Synthesize one ADVBIST design per k-test session (Table 2).")
-    Term.(const run $ circuit_arg $ file_arg $ time_limit_arg $ format_arg)
+    Term.(
+      const run $ circuit_arg $ file_arg $ time_limit_arg $ format_arg
+      $ jobs_arg)
 
 (* -- compare ------------------------------------------------------------- *)
 

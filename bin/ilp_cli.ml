@@ -22,6 +22,14 @@ let time_limit_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log incumbents.")
 
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race three diverse solver configurations on a domain pool with \
+           a shared incumbent bound; the first completed proof wins.")
+
 let load path =
   match Ilp.Lp_parse.of_file path with
   | Ok p -> p
@@ -30,11 +38,22 @@ let load path =
       exit 1
 
 let solve_cmd =
-  let run path time_limit verbose =
+  let run path time_limit verbose portfolio =
     let { Ilp.Lp_parse.model; negated } = load path in
     Printf.printf "%s\n" (Ilp.Model.stats model);
     let options = { Ilp.Solver.default with Ilp.Solver.time_limit; verbose } in
-    let r = Ilp.Solver.solve ~options model in
+    let r =
+      if portfolio then begin
+        let { Ilp.Portfolio.outcome; winner; _ } =
+          Ilp.Portfolio.solve
+            ~configs:(Ilp.Portfolio.default_configs options)
+            model
+        in
+        Printf.printf "portfolio: config %d decided the race\n" winner;
+        outcome
+      end
+      else Ilp.Solver.solve ~options model
+    in
     let sign v = if negated then -v else v in
     (match r.Ilp.Solver.status with
     | Ilp.Solver.Optimal ->
@@ -57,7 +76,7 @@ let solve_cmd =
         done
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve an integer program to optimality.")
-    Term.(const run $ file_arg $ time_limit_arg $ verbose_arg)
+    Term.(const run $ file_arg $ time_limit_arg $ verbose_arg $ portfolio_arg)
 
 let relax_cmd =
   let run path =

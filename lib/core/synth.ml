@@ -49,26 +49,37 @@ let lp_mode model =
   if Ilp.Model.n_constraints model <= 1500 then Ilp.Solver.Lp_root
   else Ilp.Solver.Lp_never
 
-let solver_options ?time_limit encoding warm =
+let solver_options ?time_limit ?node_limit encoding warm =
   {
     Ilp.Solver.default with
     Ilp.Solver.time_limit;
+    node_limit;
     lp = lp_mode encoding.Encoding.model;
     branch_order = Some (Encoding.branch_order encoding);
     warm_start = warm;
     prefer_high = false;
   }
 
-let reference ?time_limit ?symmetry (p : Dfg.Problem.t) =
+(* One ILP solve, optionally as a portfolio race of diverse configurations
+   sharing an incumbent bound (first prover cancels the rest). *)
+let run_solver ~portfolio options model =
+  if portfolio then
+    (Ilp.Portfolio.solve ~configs:(Ilp.Portfolio.default_configs options)
+       model)
+      .Ilp.Portfolio.outcome
+  else Ilp.Solver.solve ~options model
+
+let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
+    (p : Dfg.Problem.t) =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build_reference ?symmetry p ~n_regs in
   let* d0 = Heuristic.netlist p in
   let* d0 = align_to_clique p d0 in
   let warm = Result.to_option (Encoding.vector_of_netlist e d0) in
-  let options = solver_options ?time_limit e warm in
+  let options = solver_options ?time_limit ?node_limit e warm in
   (* presolve keeps variable indices, so decoding solutions still works *)
   let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
-  let r = Ilp.Solver.solve ~options model in
+  let r = run_solver ~portfolio options model in
   match r.Ilp.Solver.solution with
   | None -> Error "reference synthesis found no data path"
   | Some x ->
@@ -81,7 +92,8 @@ let reference ?time_limit ?symmetry (p : Dfg.Problem.t) =
           ref_time = r.Ilp.Solver.time_s;
         }
 
-let synthesize ?time_limit ?symmetry (p : Dfg.Problem.t) ~k =
+let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
+    (p : Dfg.Problem.t) ~k =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build ?symmetry p ~n_regs ~k in
   let warm =
@@ -96,10 +108,10 @@ let synthesize ?time_limit ?symmetry (p : Dfg.Problem.t) ~k =
             | Ok { Session_opt.plan; _ } ->
                 Result.to_option (Encoding.vector_of_plan e plan)))
   in
-  let options = solver_options ?time_limit e warm in
+  let options = solver_options ?time_limit ?node_limit e warm in
   (* presolve keeps variable indices, so decoding solutions still works *)
   let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
-  let r = Ilp.Solver.solve ~options model in
+  let r = run_solver ~portfolio options model in
   match r.Ilp.Solver.solution with
   | None ->
       Error
@@ -138,17 +150,30 @@ let synthesize ?time_limit ?symmetry (p : Dfg.Problem.t) ~k =
 
 type sweep_row = { k : int; outcome : outcome; overhead_pct : float }
 
-let sweep ?time_limit ?symmetry p =
-  let* reference = reference ?time_limit ?symmetry p in
+let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) p =
+  let* reference = reference ?time_limit ?node_limit ?symmetry p in
   let n = Dfg.Problem.n_modules p in
-  let rec go k acc =
-    if k > n then Ok (List.rev acc)
-    else
-      let* outcome = synthesize ?time_limit ?symmetry p ~k in
-      let overhead_pct =
-        Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area
-      in
-      go (k + 1) ({ k; outcome; overhead_pct } :: acc)
+  let ks = List.init n (fun i -> i + 1) in
+  (* The per-k ILPs are independent (each task builds its own encoding,
+     model and solver state), so the sweep farms them out to a domain
+     pool.  [jobs <= 1] is plain sequential iteration; results are
+     collected in k order either way, and the first error — in k order —
+     wins, matching the sequential short-circuit behaviour. *)
+  let solve_one k = synthesize ?time_limit ?node_limit ?symmetry p ~k in
+  let results =
+    if jobs <= 1 then List.map solve_one ks
+    else Ilp.Pool.map ~jobs solve_one ks
   in
-  let* rows = go 1 [] in
+  let rec collect ks results acc =
+    match (ks, results) with
+    | [], [] -> Ok (List.rev acc)
+    | k :: ks, r :: results ->
+        let* outcome = r in
+        let overhead_pct =
+          Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area
+        in
+        collect ks results ({ k; outcome; overhead_pct } :: acc)
+    | _ -> assert false
+  in
+  let* rows = collect ks results [] in
   Ok (reference, rows)

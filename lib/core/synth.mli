@@ -26,14 +26,21 @@ type reference = {
 }
 
 val reference :
-  ?time_limit:float -> ?symmetry:bool -> Dfg.Problem.t ->
+  ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
+  ?portfolio:bool -> Dfg.Problem.t ->
   (reference, string) result
 (** Area-optimal non-BIST data path (registers all plain + minimal mux
-    area), warm-started from left-edge + greedy binding. *)
+    area), warm-started from left-edge + greedy binding.  [portfolio]
+    races diverse solver configurations on a domain pool
+    ({!Ilp.Portfolio}); default false. *)
 
 val synthesize :
-  ?time_limit:float -> ?symmetry:bool -> Dfg.Problem.t -> k:int ->
+  ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
+  ?portfolio:bool -> Dfg.Problem.t -> k:int ->
   (outcome, string) result
+(** [portfolio] races diverse solver configurations with a shared
+    incumbent bound instead of one branch-and-bound run; same optima,
+    often less wall-clock on hard instances.  Default false. *)
 
 type sweep_row = {
   k : int;
@@ -42,7 +49,15 @@ type sweep_row = {
 }
 
 val sweep :
-  ?time_limit:float -> ?symmetry:bool -> Dfg.Problem.t ->
+  ?time_limit:float -> ?node_limit:int -> ?symmetry:bool -> ?jobs:int ->
+  Dfg.Problem.t ->
   (reference * sweep_row list, string) result
 (** One design per k-test session, k = 1 .. N (N = number of modules) —
-    Table 2 of the paper.  [time_limit] applies per k. *)
+    Table 2 of the paper.  [time_limit] and [node_limit] apply per k;
+    node-limited runs are deterministic even under parallel load, where
+    wall-clock limits are not.  [jobs] (default 1)
+    farms the independent per-k ILPs out to that many domains
+    ({!Ilp.Pool}); the per-k results are identical to the sequential
+    path's whenever every solve finishes within its own budget, since
+    each task runs the very same single-threaded solver on its own
+    state. *)

@@ -1,0 +1,127 @@
+(* Fixed-size domain pool.  One mutex/condition pair guards the queue; a
+   second condition broadcasts task completions so [await] can sleep.  All
+   task state transitions happen under the pool lock, so workers and the
+   submitting domain never race on a task record. *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type packed = Job : 'a task -> packed
+
+and 'a task = {
+  pool : t;
+  thunk : unit -> 'a;
+  token : bool Atomic.t;
+  mutable state : 'a state;
+}
+
+and t = {
+  lock : Mutex.t;
+  work_cv : Condition.t;  (* queue non-empty, or shutting down *)
+  done_cv : Condition.t;  (* some task settled *)
+  queue : packed Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  n_jobs : int;
+}
+
+let jobs t = t.n_jobs
+
+let run_job (Job task) =
+  let result = try Done (task.thunk ()) with e -> Failed e in
+  Mutex.lock task.pool.lock;
+  task.state <- result;
+  Condition.broadcast task.pool.done_cv;
+  Mutex.unlock task.pool.lock
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_cv t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping: exit *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    run_job job;
+    worker_loop t
+  end
+
+let create ~jobs =
+  let n_jobs = max 1 (min jobs 64) in
+  let t =
+    {
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+      n_jobs;
+    }
+  in
+  t.workers <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit ?cancel t thunk =
+  let token = match cancel with Some a -> a | None -> Atomic.make false in
+  let task = { pool = t; thunk; token; state = Pending } in
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Ilp.Pool.submit: pool is shut down"
+  end;
+  Queue.push (Job task) t.queue;
+  Condition.signal t.work_cv;
+  Mutex.unlock t.lock;
+  task
+
+let cancel task = Atomic.set task.token true
+let cancel_token task = task.token
+
+let await task =
+  let t = task.pool in
+  Mutex.lock t.lock;
+  while (match task.state with Pending -> true | Done _ | Failed _ -> false) do
+    Condition.wait t.done_cv t.lock
+  done;
+  let r = task.state in
+  Mutex.unlock t.lock;
+  match r with
+  | Done v -> Ok v
+  | Failed e -> Error e
+  | Pending -> assert false
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.lock;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+let map ~jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 -> List.map f xs
+  | _ ->
+      let pool = create ~jobs:(min jobs (List.length xs)) in
+      let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
+      let results = List.map await tasks in
+      shutdown pool;
+      List.map (function Ok v -> v | Error e -> raise e) results
+
+let env_jobs () =
+  match Sys.getenv_opt "ADVBIST_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n 64)
+      | Some _ | None -> None)
+  | None -> None
+
+let default_jobs () = match env_jobs () with Some n -> n | None -> 1
+
+let recommended_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)

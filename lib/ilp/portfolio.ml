@@ -1,0 +1,140 @@
+type result = {
+  outcome : Solver.outcome;
+  winner : int;
+  outcomes : Solver.outcome list;
+}
+
+let default_configs (base : Solver.options) =
+  [
+    base;
+    { base with Solver.prefer_high = not base.Solver.prefer_high };
+    {
+      base with
+      Solver.lp =
+        (match base.Solver.lp with
+        | Solver.Lp_never -> Solver.Lp_root
+        | Solver.Lp_root | Solver.Lp_depth _ -> Solver.Lp_never);
+    };
+  ]
+
+let is_complete (o : Solver.outcome) =
+  match o.Solver.status with
+  | Solver.Optimal | Solver.Infeasible -> true
+  | Solver.Feasible | Solver.Unknown -> false
+
+(* Combine member outcomes into one sound verdict (see the .mli). *)
+let combine ~shared_final outcomes =
+  let total_nodes =
+    List.fold_left (fun acc o -> acc + o.Solver.nodes) 0 outcomes
+  in
+  let wall =
+    List.fold_left (fun acc o -> Float.max acc o.Solver.time_s) 0.0 outcomes
+  in
+  let any_complete = List.exists is_complete outcomes in
+  (* best solution across members; ties keep the earliest config *)
+  let best = ref None in
+  List.iteri
+    (fun i o ->
+      match (o.Solver.solution, o.Solver.objective) with
+      | Some _, Some obj -> (
+          match !best with
+          | Some (_, _, bobj) when bobj <= obj -> ()
+          | Some _ | None -> best := Some (i, o, obj))
+      | _ -> ())
+    outcomes;
+  (* Each member's bound is valid for its cutoff-restricted subproblem;
+     min with the final shared incumbent value makes it globally valid. *)
+  let member_bound =
+    List.fold_left (fun acc o -> max acc o.Solver.bound) min_int outcomes
+  in
+  match !best with
+  | Some (i, o, obj) ->
+      if any_complete then
+        ( {
+            o with
+            Solver.status = Solver.Optimal;
+            bound = obj;
+            nodes = total_nodes;
+            time_s = wall;
+          },
+          i )
+      else
+        ( {
+            o with
+            Solver.status = Solver.Feasible;
+            bound = min shared_final member_bound;
+            nodes = total_nodes;
+            time_s = wall;
+          },
+          i )
+  | None ->
+      let winner =
+        let rec first i = function
+          | [] -> 0
+          | o :: rest -> if is_complete o then i else first (i + 1) rest
+        in
+        first 0 outcomes
+      in
+      if any_complete then
+        ( {
+            Solver.status = Solver.Infeasible;
+            solution = None;
+            objective = None;
+            bound = max_int;
+            nodes = total_nodes;
+            time_s = wall;
+          },
+          winner )
+      else
+        ( {
+            Solver.status = Solver.Unknown;
+            solution = None;
+            objective = None;
+            bound = min shared_final member_bound;
+            nodes = total_nodes;
+            time_s = wall;
+          },
+          winner )
+
+let solve ?jobs ~configs model =
+  match configs with
+  | [] -> invalid_arg "Ilp.Portfolio.solve: empty configuration list"
+  | [ o ] ->
+      let outcome = Solver.solve ~options:o model in
+      { outcome; winner = 0; outcomes = [ outcome ] }
+  | _ ->
+      (* Pre-build the model's lazy caches so the worker domains only ever
+         read it (the solver itself never mutates a model). *)
+      if Model.n_vars model > 0 then ignore (Model.bounds model 0);
+      let shared = Atomic.make max_int in
+      let members = List.map (fun o -> (o, Atomic.make false)) configs in
+      let n = List.length configs in
+      let jobs = match jobs with Some j -> max 1 (min j n) | None -> n in
+      let pool = Pool.create ~jobs in
+      let tasks =
+        List.map
+          (fun (o, stop) ->
+            Pool.submit ~cancel:stop pool (fun () ->
+                let o =
+                  {
+                    o with
+                    Solver.stop = Some stop;
+                    shared_incumbent = Some shared;
+                  }
+                in
+                let r = Solver.solve ~options:o model in
+                (* first complete member cancels the rest of the race *)
+                if is_complete r then
+                  List.iter (fun (_, st) -> Atomic.set st true) members;
+                r))
+          members
+      in
+      let results = List.map Pool.await tasks in
+      Pool.shutdown pool;
+      let outcomes =
+        List.map (function Ok r -> r | Error e -> raise e) results
+      in
+      let outcome, winner =
+        combine ~shared_final:(Atomic.get shared) outcomes
+      in
+      { outcome; winner; outcomes }

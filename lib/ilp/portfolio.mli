@@ -1,0 +1,36 @@
+(** Portfolio solving: race solver configurations on one model.
+
+    Two or three branch-and-bound configurations (different branching
+    polarity, LP modes, …) attack the same model on a {!Pool} of domains.
+    Every incumbent any of them finds is published through a shared
+    [Atomic] bound, so one member's good solution immediately prunes the
+    others' searches; the first member to *complete* (prove optimality or
+    infeasibility under the shared cutoff) cancels the rest.
+
+    Soundness of the combined verdict: the shared bound only ever carries
+    objectives of audited feasible solutions, so a member that exhausts its
+    search — even one that found nothing because the cutoff pruned
+    everything — proves that no solution beats the best incumbent seen
+    anywhere.  Hence [Optimal] is reported as soon as any member completes
+    while any member holds a solution. *)
+
+type result = {
+  outcome : Solver.outcome;
+      (** the combined verdict: best solution over all members, [nodes]
+          summed, [time_s] = wall-clock of the whole race *)
+  winner : int;  (** index into [configs] of the member whose solution (or
+                     completion) decided the verdict *)
+  outcomes : Solver.outcome list;  (** per-member outcomes, in config order *)
+}
+
+val default_configs : Solver.options -> Solver.options list
+(** Three diverse configurations derived from a base: the base itself, the
+    opposite branching polarity, and the opposite LP-bounding mode. *)
+
+val solve :
+  ?jobs:int -> configs:Solver.options list -> Model.t -> result
+(** Race [configs] (must be non-empty) on [model] with [jobs] domains
+    (default: one per configuration).  Any [stop] / [shared_incumbent]
+    already present in a config is replaced by the race's own.  A single
+    configuration degrades to a plain {!Solver.solve} call on the calling
+    domain. *)

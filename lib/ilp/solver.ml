@@ -19,6 +19,9 @@ type options = {
   prefer_high : bool;
   warm_start : int array option;
   verbose : bool;
+  branch_window : int;
+  stop : bool Atomic.t option;
+  shared_incumbent : int Atomic.t option;
 }
 
 let default =
@@ -30,11 +33,17 @@ let default =
     prefer_high = true;
     warm_start = None;
     verbose = false;
+    branch_window = 16;
+    stop = None;
+    shared_incumbent = None;
   }
 
 (* Internal row: terms `sum coef*var <= rhs`.  Eq model rows are split into
-   two Le rows; Ge rows are negated. *)
-type row = { terms : (int * int) array; mutable rhs : int }
+   two Le rows; Ge rows are negated.  [minact] caches the row's minimal
+   activity (sum of a*lb for a > 0, a*ub for a < 0) and is maintained
+   incrementally by every bound change and its trail undo, so propagation
+   never rescans the terms to recompute it. *)
+type row = { terms : (int * int) array; mutable rhs : int; mutable minact : int }
 
 exception Out_of_time
 
@@ -44,57 +53,135 @@ type search = {
   lb : int array;
   ub : int array;
   rows : row array;
-  occ : int list array;  (* var -> row indices *)
+  occ_rows : int array array;  (* var -> deduped row indices, for the worklist *)
+  occ_pos : (int * int) array array;  (* var -> (row idx, coef > 0) *)
+  occ_neg : (int * int) array array;  (* var -> (row idx, coef < 0) *)
   obj_terms : (int * int) array;
-  obj_row : row option;  (* objective cutoff, rhs updated on incumbents *)
-  trail : (int * int * int * bool) Stack.t;
-      (* (var, old bound, mark-irrelevant, is_lb) encoded below *)
+  objc : int array;  (* var -> objective coefficient (0 when absent) *)
+  obj_row : row option;  (* objective cutoff, rhs tightened on incumbents *)
+  trail : (int * int * bool) Stack.t;  (* (var, old bound, is_lb) *)
   opts : options;
   started : float;
   mutable incumbent : int array option;
   mutable incumbent_obj : int;
   mutable nodes : int;
+  mutable ticks : int;  (* row propagations, for the limit-check cadence *)
   mutable root_bound : int;
   branch_seq : int array;
+  act : float array;  (* conflict-driven branching activity (VSIDS-style) *)
+  mutable act_inc : float;
   value_hint : int array option;
 }
 
 let now () = Unix.gettimeofday ()
 
-(* --- trail ------------------------------------------------------------- *)
+(* --- trail + incremental activities ------------------------------------ *)
+
+let apply_lb_delta s v delta =
+  let ps = s.occ_pos.(v) in
+  for i = 0 to Array.length ps - 1 do
+    let ri, a = ps.(i) in
+    let r = s.rows.(ri) in
+    r.minact <- r.minact + (a * delta)
+  done;
+  let c = s.objc.(v) in
+  if c > 0 then
+    match s.obj_row with
+    | Some r -> r.minact <- r.minact + (c * delta)
+    | None -> ()
+
+let apply_ub_delta s v delta =
+  let ns = s.occ_neg.(v) in
+  for i = 0 to Array.length ns - 1 do
+    let ri, a = ns.(i) in
+    let r = s.rows.(ri) in
+    r.minact <- r.minact + (a * delta)
+  done;
+  let c = s.objc.(v) in
+  if c < 0 then
+    match s.obj_row with
+    | Some r -> r.minact <- r.minact + (c * delta)
+    | None -> ()
 
 let set_lb s v value =
   if value > s.lb.(v) then begin
-    Stack.push (v, s.lb.(v), 0, true) s.trail;
-    s.lb.(v) <- value
+    Stack.push (v, s.lb.(v), true) s.trail;
+    let delta = value - s.lb.(v) in
+    s.lb.(v) <- value;
+    apply_lb_delta s v delta
   end
 
 let set_ub s v value =
   if value < s.ub.(v) then begin
-    Stack.push (v, s.ub.(v), 0, false) s.trail;
-    s.ub.(v) <- value
+    Stack.push (v, s.ub.(v), false) s.trail;
+    let delta = value - s.ub.(v) in
+    s.ub.(v) <- value;
+    apply_ub_delta s v delta
   end
 
 let mark s = Stack.length s.trail
 
 let undo_to s m =
   while Stack.length s.trail > m do
-    let v, old, _, is_lb = Stack.pop s.trail in
-    if is_lb then s.lb.(v) <- old else s.ub.(v) <- old
+    let v, old, is_lb = Stack.pop s.trail in
+    if is_lb then begin
+      let delta = old - s.lb.(v) in
+      s.lb.(v) <- old;
+      apply_lb_delta s v delta
+    end
+    else begin
+      let delta = old - s.ub.(v) in
+      s.ub.(v) <- old;
+      apply_ub_delta s v delta
+    end
   done
+
+(* --- limits ------------------------------------------------------------- *)
+
+let check_limits s =
+  (match s.opts.stop with
+  | Some flag when Atomic.get flag -> raise Out_of_time
+  | Some _ | None -> ());
+  (match s.opts.time_limit with
+  | Some tl when now () -. s.started > tl -> raise Out_of_time
+  | Some _ | None -> ());
+  match s.opts.node_limit with
+  | Some nl when s.nodes >= nl -> raise Out_of_time
+  | Some _ | None -> ()
+
+(* Best objective value known anywhere: the local incumbent, tightened by
+   solutions other portfolio members published through the shared atomic. *)
+let cutoff s =
+  match s.opts.shared_incumbent with
+  | Some a -> min s.incumbent_obj (Atomic.get a)
+  | None -> s.incumbent_obj
+
+(* --- branching activity ------------------------------------------------- *)
+
+let bump_conflict s (r : row) =
+  let inc = s.act_inc in
+  Array.iter (fun (_, v) -> s.act.(v) <- s.act.(v) +. inc) r.terms;
+  s.act_inc <- inc *. 1.02;
+  if s.act_inc > 1e100 then begin
+    for v = 0 to s.n - 1 do
+      s.act.(v) <- s.act.(v) *. 1e-100
+    done;
+    s.act_inc <- s.act_inc *. 1e-100
+  end
 
 (* --- propagation ------------------------------------------------------- *)
 
-let min_activity s (r : row) =
-  Array.fold_left
-    (fun acc (a, v) -> acc + (if a > 0 then a * s.lb.(v) else a * s.ub.(v)))
-    0 r.terms
-
 (* Bound tightening on one Le row; returns false on conflict, records
-   touched variables through [touch]. *)
+   touched variables through [touch].  A row's own tightenings never move
+   its cached [minact] (positive-coefficient vars lose upper bound, which
+   the min-activity does not read, and symmetrically), so the slack
+   computed on entry stays valid throughout the scan. *)
 let propagate_row s (r : row) ~touch =
-  let minact = min_activity s r in
-  if minact > r.rhs then false
+  let minact = r.minact in
+  if minact > r.rhs then begin
+    bump_conflict s r;
+    false
+  end
   else begin
     let slack = r.rhs - minact in
     Array.iter
@@ -131,12 +218,12 @@ let propagate s seeds =
       Queue.add i pending
     end
   in
-  let touch v = List.iter enqueue_row s.occ.(v) in
+  let touch v = Array.iter enqueue_row s.occ_rows.(v) in
   (match seeds with
   | None -> Array.iteri (fun i _ -> enqueue_row i) s.rows
   | Some vars -> List.iter touch vars);
   let ok = ref true in
-  (* The objective cutoff row participates whenever it exists.  Its
+  (* The objective cutoff row participates whenever a cutoff is known.  Its
      tightenings enqueue ordinary rows, so the whole thing must run to a
      joint fixpoint: drain the queue, re-run the cutoff pass, and repeat
      until neither produces new work. *)
@@ -144,11 +231,19 @@ let propagate s seeds =
     match s.obj_row with
     | None -> true
     | Some r ->
-        if s.incumbent = None then true
-        else propagate_row s r ~touch
+        let c = cutoff s in
+        if c = max_int then true
+        else begin
+          if c - 1 < r.rhs then r.rhs <- c - 1;
+          propagate_row s r ~touch
+        end
   in
   let drain () =
     while !ok && not (Queue.is_empty pending) do
+      (* Deep propagation-heavy subtrees must still honour the limits:
+         check on a coarse tick counter rather than only per node. *)
+      s.ticks <- s.ticks + 1;
+      if s.ticks land 2047 = 0 then check_limits s;
       let i = Queue.take pending in
       queued.(i) <- false;
       if not (propagate_row s s.rows.(i) ~touch) then ok := false
@@ -166,9 +261,7 @@ let propagate s seeds =
 (* --- bounding ---------------------------------------------------------- *)
 
 let objective_min_activity s =
-  Array.fold_left
-    (fun acc (a, v) -> acc + (if a > 0 then a * s.lb.(v) else a * s.ub.(v)))
-    0 s.obj_terms
+  match s.obj_row with Some r -> r.minact | None -> 0
 
 let lp_bound s =
   match Simplex.relax ~lower:s.lb ~upper:s.ub s.model with
@@ -186,14 +279,6 @@ let use_lp_at s depth =
 
 (* --- search ------------------------------------------------------------ *)
 
-let check_limits s =
-  (match s.opts.time_limit with
-  | Some tl when now () -. s.started > tl -> raise Out_of_time
-  | Some _ | None -> ());
-  match s.opts.node_limit with
-  | Some nl when s.nodes >= nl -> raise Out_of_time
-  | Some _ | None -> ()
-
 let record_incumbent s =
   let x = Array.copy s.lb in
   let obj =
@@ -208,37 +293,69 @@ let record_incumbent s =
           ^ String.concat "; " errs));
     s.incumbent <- Some x;
     s.incumbent_obj <- obj;
-    (match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ());
+    (match s.obj_row with
+    | Some r -> if obj - 1 < r.rhs then r.rhs <- obj - 1
+    | None -> ());
+    (match s.opts.shared_incumbent with
+    | Some a ->
+        (* lower the shared bound to [obj] unless someone got there first *)
+        let rec publish () =
+          let cur = Atomic.get a in
+          if obj < cur && not (Atomic.compare_and_set a cur obj) then
+            publish ()
+        in
+        publish ()
+    | None -> ());
     if s.opts.verbose then
       Printf.eprintf "[ilp] incumbent %d after %d nodes (%.2fs)\n%!" obj
         s.nodes
         (now () -. s.started)
   end
 
+(* Dynamic most-constrained selection, windowed over the static order:
+   among the first [branch_window] unfixed variables of [branch_seq], pick
+   the smallest remaining domain, ties broken by conflict activity, then
+   by order.  The window keeps the caller's branch order authoritative at
+   the large scale — the ADVBIST encoding's variable hierarchy is
+   essential to its pruning — while conflicts still reorder locally.
+   With no conflicts recorded yet (all activities zero) and uniform
+   domains, this is exactly the static first-unfixed scan, including its
+   early exit. *)
 let pick_branch_var s =
-  let n_seq = Array.length s.branch_seq in
-  let rec go i =
-    if i >= n_seq then None
-    else begin
-      let v = s.branch_seq.(i) in
-      if s.lb.(v) < s.ub.(v) then Some v else go (i + 1)
-    end
-  in
-  go 0
+  let seq = s.branch_seq in
+  let n_seq = Array.length seq in
+  let w = max 1 s.opts.branch_window in
+  let best = ref (-1) in
+  let best_dom = ref max_int in
+  let best_act = ref neg_infinity in
+  let seen = ref 0 in
+  let i = ref 0 in
+  while !i < n_seq && !seen < w do
+    let v = seq.(!i) in
+    let dom = s.ub.(v) - s.lb.(v) in
+    if dom > 0 then begin
+      incr seen;
+      if dom < !best_dom || (dom = !best_dom && s.act.(v) > !best_act) then begin
+        best := v;
+        best_dom := dom;
+        best_act := s.act.(v)
+      end
+    end;
+    incr i
+  done;
+  if !best < 0 then None else Some !best
 
 let rec dfs s depth =
   s.nodes <- s.nodes + 1;
   if s.nodes land 63 = 0 || use_lp_at s depth then check_limits s;
-  if
-    s.incumbent <> None
-    && objective_min_activity s >= s.incumbent_obj
-  then ()
+  let c = cutoff s in
+  if c < max_int && objective_min_activity s >= c then ()
   else if use_lp_at s depth then begin
     match lp_bound s with
     | Some b ->
         if depth = 0 && b > s.root_bound then s.root_bound <- b;
         if b = max_int then () (* LP-infeasible node *)
-        else if s.incumbent <> None && b >= s.incumbent_obj then ()
+        else if c < max_int && b >= c then ()
         else branch s depth
     | None -> branch s depth
   end
@@ -298,25 +415,55 @@ let solve ?(options = default) model =
       let terms = Array.of_list (Linexpr.terms c.Model.expr) in
       let neg = Array.map (fun (a, v) -> (-a, v)) terms in
       match c.Model.sense with
-      | Model.Le -> rows := { terms; rhs = c.Model.rhs } :: !rows
-      | Model.Ge -> rows := { terms = neg; rhs = -c.Model.rhs } :: !rows
+      | Model.Le -> rows := { terms; rhs = c.Model.rhs; minact = 0 } :: !rows
+      | Model.Ge -> rows := { terms = neg; rhs = -c.Model.rhs; minact = 0 } :: !rows
       | Model.Eq ->
           rows :=
-            { terms = neg; rhs = -c.Model.rhs }
-            :: { terms; rhs = c.Model.rhs }
+            { terms = neg; rhs = -c.Model.rhs; minact = 0 }
+            :: { terms; rhs = c.Model.rhs; minact = 0 }
             :: !rows)
     (Model.constraints model);
   let rows = Array.of_list (List.rev !rows) in
-  let occ = Array.make (max n 1) [] in
+  (* Occurrence lists, deduped and split by coefficient sign.  [occ_rows]
+     drives worklist enqueueing; [occ_pos]/[occ_neg] drive the incremental
+     min-activity updates on lower/upper bound changes respectively. *)
+  let occ_all = Array.make (max n 1) [] in
   Array.iteri
     (fun i r ->
-      Array.iter (fun (_, v) -> occ.(v) <- i :: occ.(v)) r.terms)
+      Array.iter (fun (a, v) -> occ_all.(v) <- (i, a) :: occ_all.(v)) r.terms)
     rows;
+  let occ_rows =
+    Array.map
+      (fun l -> Array.of_list (List.sort_uniq compare (List.map fst l)))
+      occ_all
+  in
+  let occ_pos =
+    Array.map
+      (fun l -> Array.of_list (List.rev (List.filter (fun (_, a) -> a > 0) l)))
+      occ_all
+  in
+  let occ_neg =
+    Array.map
+      (fun l -> Array.of_list (List.rev (List.filter (fun (_, a) -> a < 0) l)))
+      occ_all
+  in
   let obj_terms = Array.of_list (Linexpr.terms (Model.objective model)) in
+  let objc = Array.make (max n 1) 0 in
+  Array.iter (fun (a, v) -> objc.(v) <- a) obj_terms;
   let obj_row =
     if Array.length obj_terms = 0 then None
-    else Some { terms = obj_terms; rhs = max_int / 2 }
+    else Some { terms = obj_terms; rhs = max_int / 2; minact = 0 }
   in
+  (* Initial min-activities from the root bounds; every later bound change
+     updates them through the trail. *)
+  let init_minact (r : row) =
+    r.minact <-
+      Array.fold_left
+        (fun acc (a, v) -> acc + (if a > 0 then a * lb.(v) else a * ub.(v)))
+        0 r.terms
+  in
+  Array.iter init_minact rows;
+  Option.iter init_minact obj_row;
   let branch_seq =
     match options.branch_order with
     | None -> Array.init n (fun i -> i)
@@ -339,8 +486,11 @@ let solve ?(options = default) model =
       lb;
       ub;
       rows;
-      occ;
+      occ_rows;
+      occ_pos;
+      occ_neg;
       obj_terms;
+      objc;
       obj_row;
       trail = Stack.create ();
       opts = options;
@@ -348,8 +498,11 @@ let solve ?(options = default) model =
       incumbent = None;
       incumbent_obj = max_int;
       nodes = 0;
+      ticks = 0;
       root_bound = min_int;
       branch_seq;
+      act = Array.make (max n 1) 0.0;
+      act_inc = 1.0;
       value_hint = options.warm_start;
     }
   in
@@ -362,12 +515,19 @@ let solve ?(options = default) model =
       s.incumbent_obj <- obj;
       (match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ())
   | None -> ());
+  let root_mark = ref 0 in
   let complete =
     try
-      if propagate s None then dfs s 0;
+      let root_ok = propagate s None in
+      root_mark := mark s;
+      if root_ok then dfs s 0;
       true
     with Out_of_time -> false
   in
+  (* A limit can fire mid-branch with the trail partially wound; rewind to
+     the root-propagated state so the trivial bound below is a bound on the
+     whole problem, not on the interrupted subtree. *)
+  undo_to s !root_mark;
   let time_s = now () -. s.started in
   let trivial_bound = objective_min_activity s in
   match (s.incumbent, complete) with

@@ -36,16 +36,36 @@ type options = {
   node_limit : int option;
   lp : lp_mode;
   branch_order : int list option;
-      (** variables to branch on, highest priority first; remaining
-          variables follow in index order *)
+      (** variables branched first, highest priority first; remaining
+          variables follow in index order.  Branching is dynamic
+          (most-constrained domain, then conflict activity), with this
+          order as the final tie-break — so it fully decides the first
+          descents, before any conflicts are recorded. *)
   prefer_high : bool;  (** try the upper bound value first when branching *)
   warm_start : int array option;
       (** a (claimed) feasible assignment used as initial incumbent; it is
           checked and silently discarded if infeasible *)
   verbose : bool;
+  branch_window : int;
+      (** dynamic-branching lookahead: the branched variable is the
+          most-constrained (smallest domain, then highest conflict
+          activity) among the first [branch_window] unfixed variables of
+          the branch order.  [1] = purely static order; larger windows
+          let conflict activity reorder locally.  Default 16. *)
+  stop : bool Atomic.t option;
+      (** cooperative cancellation: when the flag turns true the search
+          stops at the next limit check and reports best-found-so-far,
+          exactly like a time limit.  Used by {!Pool} tasks. *)
+  shared_incumbent : int Atomic.t option;
+      (** cross-solver objective bound for portfolio races: every new
+          incumbent's objective is published here (monotonically
+          decreasing), and values published by other solvers tighten this
+          search's cutoff.  Only ever written with true solution
+          objectives, so pruning against it preserves completeness. *)
 }
 
 val default : options
-(** No limits, [Lp_root], no order, prefer 1, no warm start, quiet. *)
+(** No limits, [Lp_root], no order, prefer 1, no warm start, quiet, no
+    cancellation token, no shared incumbent. *)
 
 val solve : ?options:options -> Model.t -> outcome

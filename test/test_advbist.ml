@@ -435,9 +435,46 @@ let prop_synthesized_simulates_random =
               in
               Datapath.Sim.agrees o.Advbist.Synth.plan.Bist.Plan.netlist ~inputs))
 
+(* The solve farm must not change results: a parallel sweep is the same
+   per-k solver runs on independent state, so with a *node* limit (which,
+   unlike a wall-clock limit, is unaffected by scheduling) every objective
+   value, optimality flag and node count must be byte-identical to the
+   sequential path's. *)
+let test_parallel_sweep_deterministic name () =
+  let p = Option.get (Circuits.Suite.find name) in
+  let run jobs =
+    match Advbist.Synth.sweep ~node_limit:30_000 ~jobs p with
+    | Ok (reference, rows) ->
+        ( reference.Advbist.Synth.ref_area,
+          reference.Advbist.Synth.ref_optimal,
+          List.map
+            (fun (r : Advbist.Synth.sweep_row) ->
+              ( r.Advbist.Synth.k,
+                r.Advbist.Synth.outcome.Advbist.Synth.area,
+                r.Advbist.Synth.outcome.Advbist.Synth.optimal,
+                r.Advbist.Synth.outcome.Advbist.Synth.nodes ))
+            rows )
+    | Error msg -> Alcotest.failf "%s sweep (jobs=%d): %s" name jobs msg
+  in
+  let ref_area_1, ref_opt_1, rows_1 = run 1 in
+  let ref_area_4, ref_opt_4, rows_4 = run 4 in
+  check_int "reference area" ref_area_1 ref_area_4;
+  check_bool "reference optimality" ref_opt_1 ref_opt_4;
+  Alcotest.(check (list (pair (pair int int) (pair bool int))))
+    "per-k area/optimality/nodes"
+    (List.map (fun (k, a, o, n) -> ((k, a), (o, n))) rows_1)
+    (List.map (fun (k, a, o, n) -> ((k, a), (o, n))) rows_4)
+
 let () =
   Alcotest.run "advbist"
     [
+      ( "parallel",
+        [
+          Alcotest.test_case "sweep determinism (tseng)" `Slow
+            (test_parallel_sweep_deterministic "tseng");
+          Alcotest.test_case "sweep determinism (paulin)" `Slow
+            (test_parallel_sweep_deterministic "paulin");
+        ] );
       ( "encoding",
         [
           Alcotest.test_case "stats" `Quick test_encoding_stats;

@@ -569,6 +569,182 @@ let prop_lp_roundtrip =
               r.Ilp.Solver.objective = r'.Ilp.Solver.objective
           | _, _ -> false))
 
+(* Structural round-trip: write/parse must reproduce the model itself, not
+   only its optimum.  Variable indices may be permuted by the parser (it
+   numbers by first appearance), so everything is compared through the
+   name-based index mapping; zero coefficients are dropped on both sides
+   since Linexpr canonicalizes them away. *)
+let models_structurally_equal m m' =
+  let n = Ilp.Model.n_vars m in
+  let canon perm e =
+    List.sort compare
+      (List.filter_map
+         (fun (c, v) -> if c = 0 then None else Some (c, perm v))
+         (Ilp.Linexpr.terms e))
+  in
+  let id v = v in
+  n = Ilp.Model.n_vars m'
+  &&
+  let by_name = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    Hashtbl.replace by_name (Ilp.Model.var_name m' v) v
+  done;
+  let perm = Array.make n (-1) in
+  let mapped = ref true in
+  for v = 0 to n - 1 do
+    match Hashtbl.find_opt by_name (Ilp.Model.var_name m v) with
+    | Some v' -> perm.(v) <- v'
+    | None -> mapped := false
+  done;
+  !mapped
+  && (let ok = ref true in
+      for v = 0 to n - 1 do
+        if Ilp.Model.bounds m v <> Ilp.Model.bounds m' perm.(v) then
+          ok := false
+      done;
+      !ok)
+  && canon (fun v -> perm.(v)) (Ilp.Model.objective m)
+     = canon id (Ilp.Model.objective m')
+  &&
+  let canon_constrs perm model =
+    List.sort compare
+      (Array.to_list
+         (Array.map
+            (fun (c : Ilp.Model.constr) ->
+              (canon perm c.Ilp.Model.expr, c.Ilp.Model.sense, c.Ilp.Model.rhs))
+            (Ilp.Model.constraints model)))
+  in
+  canon_constrs (fun v -> perm.(v)) m = canon_constrs id m'
+
+let gen_mixed_model =
+  (* like gen_small_model but with general integer variables too, so the
+     round-trip exercises the Bounds and General sections *)
+  QCheck2.Gen.(
+    let* spec = gen_small_model in
+    let* n_ints = int_range 0 3 in
+    let* int_bounds =
+      list_size (return n_ints)
+        (let* lb = int_range (-5) 2 in
+         let* w = int_range 0 6 in
+         return (lb, lb + w))
+    in
+    return (spec, int_bounds))
+
+let build_mixed_model (spec, int_bounds) =
+  let m = build_model spec in
+  List.iteri
+    (fun i (lb, ub) ->
+      ignore (Ilp.Model.int_var m ~lb ~ub (Printf.sprintf "y%d" i)))
+    int_bounds;
+  m
+
+let prop_lp_roundtrip_structural =
+  QCheck2.Test.make ~name:"LP write/parse reproduces the model structurally"
+    ~count:300 gen_mixed_model (fun spec ->
+      let m = build_mixed_model spec in
+      match Ilp.Lp_parse.of_string (Ilp.Lp_format.to_string m) with
+      | Error _ -> false
+      | Ok { Ilp.Lp_parse.model = m'; negated } ->
+          (not negated) && models_structurally_equal m m')
+
+(* -- Pool ----------------------------------------------------------------- *)
+
+let test_pool_map_matches_sequential () =
+  let xs = List.init 40 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int))
+    "parallel map = List.map" (List.map f xs)
+    (Ilp.Pool.map ~jobs:4 f xs)
+
+let test_pool_map_propagates_exception () =
+  check_bool "raises" true
+    (try
+       ignore
+         (Ilp.Pool.map ~jobs:3
+            (fun x -> if x = 5 then failwith "boom" else x)
+            (List.init 8 Fun.id));
+       false
+     with Failure msg -> msg = "boom")
+
+let test_pool_submit_await () =
+  let pool = Ilp.Pool.create ~jobs:2 in
+  let t1 = Ilp.Pool.submit pool (fun () -> 6 * 7) in
+  let t2 = Ilp.Pool.submit pool (fun () -> failwith "nope") in
+  check_bool "t1" true (Ilp.Pool.await t1 = Ok 42);
+  check_bool "t2" true
+    (match Ilp.Pool.await t2 with
+    | Error (Failure msg) -> msg = "nope"
+    | _ -> false);
+  Ilp.Pool.shutdown pool;
+  check_bool "submit after shutdown rejected" true
+    (try
+       ignore (Ilp.Pool.submit pool (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_cancellation () =
+  let pool = Ilp.Pool.create ~jobs:1 in
+  let token = Atomic.make false in
+  let task =
+    Ilp.Pool.submit ~cancel:token pool (fun () ->
+        (* a cooperative workload: spin until the token flips (bounded so a
+           cancellation bug fails the test instead of hanging it) *)
+        let i = ref 0 in
+        while (not (Atomic.get token)) && !i < 2_000_000_000 do
+          incr i
+        done;
+        if Atomic.get token then "cancelled" else "ran to completion")
+  in
+  Ilp.Pool.cancel task;
+  check_bool "observed the token" true
+    (Ilp.Pool.await task = Ok "cancelled");
+  Ilp.Pool.shutdown pool
+
+let test_solver_stop_token () =
+  (* a pre-set stop token halts the search at the first limit check *)
+  let m, _, _, _ = knapsack () in
+  let stop = Atomic.make true in
+  let r =
+    Ilp.Solver.solve
+      ~options:{ Ilp.Solver.default with Ilp.Solver.stop = Some stop }
+      m
+  in
+  check_bool "no proof claimed" true
+    (r.Ilp.Solver.status = Ilp.Solver.Unknown
+    || r.Ilp.Solver.status = Ilp.Solver.Feasible)
+
+(* -- Portfolio ------------------------------------------------------------ *)
+
+let test_portfolio_knapsack () =
+  let m, _, _, _ = knapsack () in
+  let { Ilp.Portfolio.outcome; outcomes; _ } =
+    Ilp.Portfolio.solve
+      ~configs:(Ilp.Portfolio.default_configs Ilp.Solver.default)
+      m
+  in
+  check_int "three members" 3 (List.length outcomes);
+  check_bool "optimal" true (outcome.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "objective (-20: b+c)" (-20)
+    (Option.get outcome.Ilp.Solver.objective);
+  check_int "bound = objective" (-20) outcome.Ilp.Solver.bound
+
+let prop_portfolio_matches_brute_force =
+  QCheck2.Test.make ~name:"portfolio = brute force on random 0-1 models"
+    ~count:60 gen_small_model (fun spec ->
+      let m = build_model spec in
+      let { Ilp.Portfolio.outcome = r; _ } =
+        Ilp.Portfolio.solve
+          ~configs:(Ilp.Portfolio.default_configs Ilp.Solver.default)
+          m
+      in
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | None, _ -> false
+      | Some _, Ilp.Solver.Infeasible -> false
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+      | Some _, (Ilp.Solver.Feasible | Ilp.Solver.Unknown) -> false)
+
 let test_lp_format_sanitize () =
   let m = Ilp.Model.create () in
   let _ = Ilp.Model.bool_var m "x[1,2]" in
@@ -637,5 +813,19 @@ let () =
           Alcotest.test_case "bounds forms" `Quick test_lp_parse_bounds_forms;
           Alcotest.test_case "errors" `Quick test_lp_parse_errors;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_lp_roundtrip ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_lp_roundtrip; prop_lp_roundtrip_structural ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_matches_sequential;
+          Alcotest.test_case "map exception" `Quick
+            test_pool_map_propagates_exception;
+          Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+          Alcotest.test_case "cancellation" `Quick test_pool_cancellation;
+          Alcotest.test_case "solver stop token" `Quick test_solver_stop_token;
+        ] );
+      ( "portfolio",
+        [ Alcotest.test_case "knapsack" `Quick test_portfolio_knapsack ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_portfolio_matches_brute_force ] );
     ]
