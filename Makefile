@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test bench bench-json clean
+.PHONY: all build test bench bench-json ci clean
 
 all: build
 
@@ -20,6 +20,12 @@ bench:
 bench-json:
 	ADVBIST_BENCH_BUDGET=2 ADVBIST_BENCH_JSON=$(CURDIR)/BENCH_solver.json \
 		dune exec bench/main.exe -- json
+
+# Fast gate for every change: build, unit tests, and a <30s bench smoke
+# that asserts the solver still proves tseng k=1 optimal at the 2 s
+# budget, so bounding-strength regressions fail CI immediately.
+ci: build test
+	ADVBIST_BENCH_BUDGET=2 dune exec bench/main.exe -- smoke
 
 clean:
 	dune clean

@@ -354,6 +354,17 @@ let micro () =
    the current budget, recorded as BENCH_solver.json (wall time, node
    count and optimality per circuit per k) so the perf trajectory is
    tracked across PRs.  Hand-rolled JSON — no external dependency. *)
+(* The commit the numbers were measured at, so a snapshot diff is
+   attributable to a change rather than to a stale working tree. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
 let bench_json () =
   let path =
     Option.value (Sys.getenv_opt "ADVBIST_BENCH_JSON")
@@ -362,9 +373,14 @@ let bench_json () =
   let buf = Buffer.create 4096 in
   let started = Unix.gettimeofday () in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"advbist-solver-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"advbist-solver-bench/2\",\n";
+  Printf.bprintf buf "  \"commit\": %S,\n" (git_commit ());
   Printf.bprintf buf "  \"budget_s\": %g,\n" budget;
   Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  (* what Synth.solver_options actually runs the sweep with *)
+  Printf.bprintf buf
+    "  \"config\": { \"portfolio\": false, \"cuts\": false, \"lp\": \
+     \"root<=1500\" },\n";
   Buffer.add_string buf "  \"circuits\": [";
   let first_circuit = ref true in
   List.iter
@@ -389,13 +405,15 @@ let bench_json () =
               if i > 0 then Buffer.add_char buf ',';
               Printf.bprintf buf
                 "\n        { \"k\": %d, \"time_s\": %.3f, \"nodes\": %d, \
-                 \"optimal\": %b, \"area\": %d, \"overhead_pct\": %.2f }"
+                 \"optimal\": %b, \"area\": %d, \"overhead_pct\": %.2f, \
+                 \"gap_pct\": %.2f }"
                 row.Advbist.Synth.k
                 row.Advbist.Synth.outcome.Advbist.Synth.solve_time
                 row.Advbist.Synth.outcome.Advbist.Synth.nodes
                 row.Advbist.Synth.outcome.Advbist.Synth.optimal
                 row.Advbist.Synth.outcome.Advbist.Synth.area
-                row.Advbist.Synth.overhead_pct)
+                row.Advbist.Synth.overhead_pct
+                row.Advbist.Synth.outcome.Advbist.Synth.gap_pct)
             rows;
           Buffer.add_string buf " ] }")
     Circuits.Suite.all;
@@ -406,8 +424,32 @@ let bench_json () =
   close_out oc;
   Printf.printf "json: wrote %s\n" path
 
+(* CI smoke: the canonical provable instance (tseng k=1) must still prove
+   optimality inside the budget.  Exit status 1 on any regression, so a
+   bounding-strength regression fails `make ci` fast. *)
+let smoke () =
+  match Circuits.Suite.find "tseng" with
+  | None ->
+      prerr_endline "smoke: tseng circuit missing";
+      exit 1
+  | Some p -> (
+      match Advbist.Synth.synthesize ~time_limit:budget p ~k:1 with
+      | Error msg ->
+          Printf.eprintf "smoke: tseng k=1 failed: %s\n" msg;
+          exit 1
+      | Ok o ->
+          Printf.printf
+            "smoke: tseng k=1 area=%d optimal=%b nodes=%d time=%.3fs\n"
+            o.Advbist.Synth.area o.Advbist.Synth.optimal o.Advbist.Synth.nodes
+            o.Advbist.Synth.solve_time;
+          if not o.Advbist.Synth.optimal then begin
+            prerr_endline "smoke: FAILED - optimality not proven within budget";
+            exit 1
+          end)
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "smoke" then smoke ();
   if what = "json" then bench_json ();
   if what = "all" || what = "tables" then begin
     table1 ();

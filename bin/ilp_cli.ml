@@ -30,6 +30,15 @@ let portfolio_arg =
           "Race three diverse solver configurations on a domain pool with \
            a shared incumbent bound; the first completed proof wins.")
 
+let cuts_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "cuts" ] ~docv:"on|off"
+        ~doc:
+          "Root cut loop (lifted cover + clique cuts appended before \
+           branching).  Default: on.")
+
 let load path =
   match Ilp.Lp_parse.of_file path with
   | Ok p -> p
@@ -38,10 +47,12 @@ let load path =
       exit 1
 
 let solve_cmd =
-  let run path time_limit verbose portfolio =
+  let run path time_limit verbose portfolio cuts =
     let { Ilp.Lp_parse.model; negated } = load path in
     Printf.printf "%s\n" (Ilp.Model.stats model);
-    let options = { Ilp.Solver.default with Ilp.Solver.time_limit; verbose } in
+    let options =
+      { Ilp.Solver.default with Ilp.Solver.time_limit; verbose; cuts }
+    in
     let r =
       if portfolio then begin
         let { Ilp.Portfolio.outcome; winner; _ } =
@@ -60,11 +71,21 @@ let solve_cmd =
         Printf.printf "status: optimal\nobjective: %d\n"
           (sign (Option.get r.Ilp.Solver.objective))
     | Ilp.Solver.Feasible ->
+        (* On a limit hit the proof state is the interesting part: how far
+           the best bound still is from the incumbent. *)
+        let obj = Option.get r.Ilp.Solver.objective in
         Printf.printf "status: feasible (limit hit)\nobjective: %d\nbound: %d\n"
-          (sign (Option.get r.Ilp.Solver.objective))
-          (sign r.Ilp.Solver.bound)
+          (sign obj) (sign r.Ilp.Solver.bound);
+        if r.Ilp.Solver.bound > min_int then
+          Printf.printf "gap: %.2f%%\n"
+            (100.0
+            *. float_of_int (obj - r.Ilp.Solver.bound)
+            /. float_of_int (max 1 (abs obj)))
     | Ilp.Solver.Infeasible -> Printf.printf "status: infeasible\n"
-    | Ilp.Solver.Unknown -> Printf.printf "status: unknown (limit hit)\n");
+    | Ilp.Solver.Unknown ->
+        Printf.printf "status: unknown (limit hit)\n";
+        if r.Ilp.Solver.bound > min_int then
+          Printf.printf "bound: %d\n" (sign r.Ilp.Solver.bound));
     Printf.printf "nodes: %d\ntime: %.3fs\n" r.Ilp.Solver.nodes
       r.Ilp.Solver.time_s;
     match r.Ilp.Solver.solution with
@@ -76,7 +97,9 @@ let solve_cmd =
         done
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve an integer program to optimality.")
-    Term.(const run $ file_arg $ time_limit_arg $ verbose_arg $ portfolio_arg)
+    Term.(
+      const run $ file_arg $ time_limit_arg $ verbose_arg $ portfolio_arg
+      $ cuts_arg)
 
 let relax_cmd =
   let run path =

@@ -4,6 +4,7 @@ type outcome = {
   area : int;
   solve_time : float;
   nodes : int;
+  gap_pct : float;
 }
 
 type reference = {
@@ -14,6 +15,16 @@ type reference = {
 }
 
 let ( let* ) r f = Result.bind r f
+
+(* Incumbent-vs-bound gap in percent of the incumbent objective; 0 for a
+   proven optimum, 100 when the search never produced a usable bound. *)
+let gap_pct (r : Ilp.Solver.outcome) =
+  match (r.Ilp.Solver.status, r.Ilp.Solver.objective) with
+  | Ilp.Solver.Optimal, _ -> 0.0
+  | _, Some obj when r.Ilp.Solver.bound > min_int ->
+      let gap = float_of_int (obj - r.Ilp.Solver.bound) in
+      Float.max 0.0 (100.0 *. gap /. float_of_int (max 1 (abs obj)))
+  | _ -> 100.0
 
 (* Permute a netlist's register names so that the encoding's symmetry
    pre-fixing (max clique member i in register i) is satisfied; without
@@ -55,6 +66,13 @@ let solver_options ?time_limit ?node_limit encoding warm =
     Ilp.Solver.time_limit;
     node_limit;
     lp = lp_mode encoding.Encoding.model;
+    (* The BIST encodings' LP relaxation is far weaker than cutoff-driven
+       propagation (the integer rounding in the bound tightening does the
+       heavy lifting), so at interactive budgets the root cut loop costs
+       more wall clock than its pruning returns.  Probing-based proving
+       (Solver's shaving pass) is what closes these instances; leave the
+       cut loop to the portfolio and CLI paths where callers opt in. *)
+    cuts = false;
     branch_order = Some (Encoding.branch_order encoding);
     warm_start = warm;
     prefer_high = false;
@@ -146,6 +164,7 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
               area = Bist.Plan.area plan;
               solve_time = r.Ilp.Solver.time_s;
               nodes = r.Ilp.Solver.nodes;
+              gap_pct = gap_pct r;
             })
 
 type sweep_row = { k : int; outcome : outcome; overhead_pct : float }

@@ -16,6 +16,10 @@ type outcome = {
   area : int;
   solve_time : float;
   nodes : int;
+  gap_pct : float;
+      (** incumbent-vs-bound optimality gap, in percent of the incumbent
+          objective: [0] when proven optimal, [100] when the search
+          produced no useful lower bound *)
 }
 
 type reference = {

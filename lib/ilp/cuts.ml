@@ -1,0 +1,265 @@
+(* Cutting-plane separation over the model's 0-1 rows.
+
+   Every <=-row whose unfixed variables are all binary is normalized into a
+   complemented knapsack  sum_j a_j y_j <= cap  with a_j > 0, where y_j is
+   either x_j or its complement 1-x_j (variables entering with a negative
+   coefficient are complemented; fixed variables are substituted into the
+   right-hand side).  Two families of valid inequalities are separated
+   against a fractional LP point:
+
+   - extended cover cuts: a cover C (sum_C a_j > cap) gives
+     sum_{C u E} y_j <= |C| - 1 with E = { j : a_j >= max_C a_i }.  The
+     extension keeps the cut valid for any cover: if |C| items of C u E
+     were 1, exchanging each chosen E-item for a distinct unchosen C-item
+     only lowers the weight, which still exceeds cap.
+   - clique cuts: sorting a knapsack's items by weight descending, the top
+     t items are pairwise conflicting while a_{t-1} + a_t > cap, giving
+     sum y <= 1 over the prefix; prefix cliques from all rows are merged
+     through a conflict graph to catch cliques spanning rows.
+
+   Cuts are returned over the original variables (complements expanded), as
+   integer <=-rows ready for Model.add_le / Simplex.add_row. *)
+
+type cut = { terms : (int * int) list; rhs : int }
+
+(* A literal is a variable or its complement, packed as 2v + (1 if
+   complemented).  lv is the literal's value at the LP point. *)
+let lit v comp = (2 * v) + if comp then 1 else 0
+let lit_var l = l / 2
+let lit_comp l = l land 1 = 1
+
+type knapsack = {
+  items : (int * int) array;  (* (weight a_j > 0, literal), any order *)
+  cap : int;
+}
+
+let knapsacks_of_model (model : Model.t) =
+  let n = Model.n_vars model in
+  let fixed = Array.make n None in
+  for v = 0 to n - 1 do
+    let lb, ub = Model.bounds model v in
+    if lb = ub then fixed.(v) <- Some lb
+  done;
+  let rows = ref [] in
+  let consider terms rhs =
+    (* terms: (coef, var) over the original row, <= rhs *)
+    let cap = ref rhs in
+    let items = ref [] in
+    let ok = ref true in
+    List.iter
+      (fun (c, v) ->
+        if c <> 0 then
+          match fixed.(v) with
+          | Some x -> cap := !cap - (c * x)
+          | None ->
+              if not (Model.is_binary model v) then ok := false
+              else if c > 0 then items := (c, lit v false) :: !items
+              else begin
+                (* c x = -|c| x = |c| (1-x) - |c| *)
+                cap := !cap + (-c);
+                items := (-c, lit v true) :: !items
+              end)
+      terms;
+    if !ok && List.compare_length_with !items 2 >= 0 then begin
+      let items = Array.of_list !items in
+      let total = Array.fold_left (fun acc (a, _) -> acc + a) 0 items in
+      (* cap < 0 is an infeasible row (presolve's business, not ours);
+         total <= cap is redundant *)
+      if !cap >= 0 && total > !cap then
+        rows := { items; cap = !cap } :: !rows
+    end
+  in
+  Array.iter
+    (fun (c : Model.constr) ->
+      let terms = Linexpr.terms c.Model.expr in
+      match c.Model.sense with
+      | Model.Le -> consider terms c.Model.rhs
+      | Model.Ge ->
+          consider (List.map (fun (a, v) -> (-a, v)) terms) (-c.Model.rhs)
+      | Model.Eq ->
+          consider terms c.Model.rhs;
+          consider (List.map (fun (a, v) -> (-a, v)) terms) (-c.Model.rhs))
+    (Model.constraints model);
+  !rows
+
+let lit_value (x : float array) l =
+  let v = x.(lit_var l) in
+  if lit_comp l then 1.0 -. v else v
+
+(* --- extended cover cuts ------------------------------------------------ *)
+
+let cover_cut (x : float array) (k : knapsack) =
+  (* Greedy cover: take items by (1 - lv)/a ascending (cheapest slack per
+     unit weight first) until the weight exceeds cap, then minimalize. *)
+  let scored =
+    Array.map (fun (a, l) -> ((1.0 -. lit_value x l) /. float_of_int a, a, l))
+      k.items
+  in
+  Array.sort (fun (s1, _, _) (s2, _, _) -> compare s1 s2) scored;
+  let cover = ref [] and weight = ref 0 in
+  (try
+     Array.iter
+       (fun (_, a, l) ->
+         cover := (a, l) :: !cover;
+         weight := !weight + a;
+         if !weight > k.cap then raise Exit)
+       scored
+   with Exit -> ());
+  if !weight <= k.cap then None
+  else begin
+    (* minimalize: drop any item whose removal keeps it a cover, lightest
+       first, so the surviving max_C a_i stays small and E large *)
+    let c =
+      List.sort compare !cover
+      |> List.filter (fun (a, _) ->
+             if !weight - a > k.cap then begin
+               weight := !weight - a;
+               false
+             end
+             else true)
+    in
+    let size = List.length c in
+    let amax = List.fold_left (fun acc (a, _) -> max acc a) 0 c in
+    let in_c = Hashtbl.create 8 in
+    List.iter (fun (_, l) -> Hashtbl.replace in_c l ()) c;
+    let ext =
+      Array.to_list k.items
+      |> List.filter (fun (a, l) -> a >= amax && not (Hashtbl.mem in_c l))
+    in
+    let lits = List.map snd c @ List.map snd ext in
+    let lhs =
+      List.fold_left (fun acc l -> acc +. lit_value x l) 0.0 lits
+    in
+    let rhs = size - 1 in
+    if lhs > float_of_int rhs +. 0.005 then
+      Some (lits, rhs, lhs -. float_of_int rhs)
+    else None
+  end
+
+(* --- clique cuts -------------------------------------------------------- *)
+
+(* Conflict graph over literals: l1 -- l2 when y1 + y2 <= 1 is implied by
+   some knapsack (the two heaviest of any prefix exceed cap together). *)
+let clique_cuts (x : float array) rows max_cuts =
+  let adj = Hashtbl.create 256 in
+  let edge l1 l2 =
+    if lit_var l1 <> lit_var l2 then begin
+      let k = if l1 < l2 then (l1, l2) else (l2, l1) in
+      Hashtbl.replace adj k ()
+    end
+  in
+  let conflict l1 l2 =
+    Hashtbl.mem adj (if l1 < l2 then (l1, l2) else (l2, l1))
+  in
+  let prefix_cliques = ref [] in
+  List.iter
+    (fun k ->
+      let its = Array.copy k.items in
+      Array.sort (fun (a1, _) (a2, _) -> compare a2 a1) its;
+      let n = Array.length its in
+      (* longest prefix that is pairwise conflicting: its two lightest
+         members (the last two) must jointly exceed cap *)
+      let t = ref n in
+      while
+        !t >= 2 && fst its.(!t - 2) + fst its.(!t - 1) <= k.cap
+      do
+        decr t
+      done;
+      let t = !t in
+      if t >= 2 then begin
+        prefix_cliques := Array.sub its 0 t :: !prefix_cliques;
+        for i = 0 to t - 2 do
+          for j = i + 1 to t - 1 do
+            edge (snd its.(i)) (snd its.(j))
+          done
+        done;
+        (* items past the prefix still conflict with heavy prefix items *)
+        for j = t to n - 1 do
+          let i = ref 0 in
+          while !i < t && fst its.(!i) + fst its.(j) > k.cap do
+            edge (snd its.(!i)) (snd its.(j));
+            incr i
+          done
+        done
+      end)
+    rows;
+  (* Grow cliques greedily from fractional literals, seeded by LP value. *)
+  let cand =
+    Hashtbl.fold (fun (l1, l2) () acc -> l1 :: l2 :: acc) adj []
+    |> List.sort_uniq compare
+    |> List.filter (fun l -> lit_value x l > 0.02)
+    |> List.sort (fun l1 l2 -> compare (lit_value x l2) (lit_value x l1))
+  in
+  let cuts = ref [] and n_cuts = ref 0 in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun seed ->
+      if !n_cuts < max_cuts && not (Hashtbl.mem used seed) then begin
+        let clique = ref [ seed ] in
+        let vars = Hashtbl.create 8 in
+        Hashtbl.replace vars (lit_var seed) ();
+        List.iter
+          (fun l ->
+            if
+              (not (Hashtbl.mem vars (lit_var l)))
+              && List.for_all (fun l' -> conflict l l') !clique
+            then begin
+              clique := l :: !clique;
+              Hashtbl.replace vars (lit_var l) ()
+            end)
+          cand;
+        let lhs =
+          List.fold_left (fun acc l -> acc +. lit_value x l) 0.0 !clique
+        in
+        if List.compare_length_with !clique 2 >= 0 && lhs > 1.005 then begin
+          List.iter (fun l -> Hashtbl.replace used l ()) !clique;
+          cuts := (!clique, 1, lhs -. 1.0) :: !cuts;
+          incr n_cuts
+        end
+      end)
+    cand;
+  !cuts
+
+(* --- assembly ----------------------------------------------------------- *)
+
+(* sum of literals <= rhs, complements expanded back to variables:
+   (1 - x) contributes coefficient -1 and shifts rhs down by 1. *)
+let cut_of_lits (lits, rhs, violation) =
+  let rhs = ref rhs in
+  let terms =
+    List.map
+      (fun l ->
+        if lit_comp l then begin
+          decr rhs;
+          (-1, lit_var l)
+        end
+        else (1, lit_var l))
+      lits
+  in
+  let terms = List.sort (fun (_, v1) (_, v2) -> compare v1 v2) terms in
+  ({ terms; rhs = !rhs }, violation)
+
+let separate model ~x ~max_cuts =
+  if max_cuts <= 0 then []
+  else begin
+    let rows = knapsacks_of_model model in
+    let covers = List.filter_map (cover_cut x) rows in
+    let cliques = clique_cuts x rows max_cuts in
+    let all = List.map cut_of_lits (covers @ cliques) in
+    (* drop duplicates (same literal set can surface as both families, or
+       repeatedly across Eq expansions) *)
+    let seen = Hashtbl.create 32 in
+    let all =
+      List.filter
+        (fun (c, _) ->
+          if Hashtbl.mem seen c.terms then false
+          else begin
+            Hashtbl.replace seen c.terms ();
+            true
+          end)
+        all
+    in
+    List.sort (fun (_, v1) (_, v2) -> compare v2 v1) all
+    |> List.filteri (fun i _ -> i < max_cuts)
+    |> List.map fst
+  end

@@ -1,0 +1,18 @@
+(** Cutting-plane separation for 0-1 rows: extended cover cuts from
+    knapsack-style constraints and clique cuts from the pairwise conflict
+    structure (register/interconnect exclusivity in the ADVBIST models).
+
+    Separation is heuristic but every returned cut is a valid inequality
+    for the model's integer feasible set — {!Solver} relies on this when it
+    appends cuts before branching, and the incumbent audit
+    ({!Model.check}) would reject any solution a bad cut displaced. *)
+
+type cut = {
+  terms : (int * int) list;  (** [(coef, var)], sorted by variable *)
+  rhs : int;  (** the cut is [terms <= rhs] *)
+}
+
+val separate : Model.t -> x:float array -> max_cuts:int -> cut list
+(** Cuts violated by the fractional point [x] (one entry per model
+    variable), most violated first, at most [max_cuts].  Rows containing
+    unfixed non-binary variables are skipped. *)

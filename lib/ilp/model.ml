@@ -84,6 +84,19 @@ let constraints m = Array.of_list (List.rev m.constrs)
 let set_objective m e = m.obj <- e
 let objective m = m.obj
 
+let copy m =
+  {
+    mname = m.mname;
+    vnames = m.vnames;
+    lbs = m.lbs;
+    ubs = m.ubs;
+    count = m.count;
+    constrs = m.constrs;
+    n_constrs = m.n_constrs;
+    obj = m.obj;
+    frozen = m.frozen;
+  }
+
 let eval_expr e x =
   Linexpr.fold (fun ~coef ~var acc -> acc + (coef * x.(var))) e 0
 

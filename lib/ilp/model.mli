@@ -21,6 +21,11 @@ type constr = {
 val create : ?name:string -> unit -> t
 val name : t -> string
 
+val copy : t -> t
+(** An independent model: constraints/objective added to either side later
+    are not visible from the other.  O(1) — the shared tails are
+    persistent. *)
+
 (** {1 Variables} *)
 
 val bool_var : t -> string -> var

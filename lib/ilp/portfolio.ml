@@ -103,6 +103,14 @@ let solve ?jobs ~configs model =
       let outcome = Solver.solve ~options:o model in
       { outcome; winner = 0; outcomes = [ outcome ] }
   | _ ->
+      (* Generate root cuts once, up front, on the first config's settings;
+         every member then branches on the same strengthened model with its
+         private cut loop disabled. *)
+      let base = List.hd configs in
+      let model = Solver.with_root_cuts ~options:base model in
+      let configs =
+        List.map (fun o -> { o with Solver.cuts = false }) configs
+      in
       (* Pre-build the model's lazy caches so the worker domains only ever
          read it (the solver itself never mutates a model). *)
       if Model.n_vars model > 0 then ignore (Model.bounds model 0);

@@ -31,6 +31,8 @@ val solve :
   ?jobs:int -> configs:Solver.options list -> Model.t -> result
 (** Race [configs] (must be non-empty) on [model] with [jobs] domains
     (default: one per configuration).  Any [stop] / [shared_incumbent]
-    already present in a config is replaced by the race's own.  A single
-    configuration degrades to a plain {!Solver.solve} call on the calling
-    domain. *)
+    already present in a config is replaced by the race's own.  Root cuts
+    are generated once ({!Solver.with_root_cuts}, on the first config's
+    settings) and shared: members run on the strengthened model with
+    their private cut loops disabled.  A single configuration degrades to
+    a plain {!Solver.solve} call on the calling domain. *)

@@ -451,7 +451,7 @@ let solve ?(max_iters = 20_000) (p : problem) =
     end
   end
 
-let relax ?lower ?upper (model : Model.t) =
+let problem_of_model ?lower ?upper (model : Model.t) =
   let n = Model.n_vars model in
   let lo = Array.make n 0.0 and up = Array.make n 0.0 in
   for v = 0 to n - 1 do
@@ -472,4 +472,552 @@ let relax ?lower ?upper (model : Model.t) =
                (Linexpr.terms c.Model.expr),
              float_of_int c.Model.rhs ))
   in
-  solve { n_vars = n; lower = lo; upper = up; objective; rows }
+  { n_vars = n; lower = lo; upper = up; objective; rows }
+
+let relax ?lower ?upper (model : Model.t) =
+  solve (problem_of_model ?lower ?upper model)
+
+(* --- persistent instances: warm-started dual simplex -------------------- *)
+
+(* A persistent instance holds the constraint matrix with one slack per
+   row (no artificials: with every structural bound finite, the all-slack
+   basis with nonbasic structurals parked at their cost-favoured bound is
+   always dual feasible, so the dual simplex can start — and restart after
+   any bound change — without a phase I).  Reduced costs do not depend on
+   variable bounds, so the basis left behind by the previous solve stays
+   dual feasible when branch-and-bound tightens bounds; [resolve] then
+   re-optimizes in a handful of dual pivots. *)
+type instance = {
+  inst_n : int;  (* structural variables *)
+  mutable st : state;
+  mutable pivots : int;  (* dual pivots since the last refactorization *)
+  mutable d : float array;  (* reduced costs by column *)
+  mutable alpha : float array;  (* pivot-row scratch by column *)
+}
+
+let eps_dual = 1e-6
+let refactor_period = 512
+
+let instance_of_problem (p : problem) =
+  let n = p.n_vars in
+  let finite = ref true in
+  for j = 0 to n - 1 do
+    if Float.abs p.lower.(j) = infinity || Float.abs p.upper.(j) = infinity
+    then finite := false
+  done;
+  if not !finite then None
+  else begin
+    let rows =
+      List.map
+        (fun (sense, terms, rhs) ->
+          match sense with
+          | Model.Le -> (terms, rhs, false)
+          | Model.Eq -> (terms, rhs, true)
+          | Model.Ge -> (List.map (fun (v, c) -> (v, -.c)) terms, -.rhs, false))
+        p.rows
+    in
+    let m = List.length rows in
+    let ncols = n + m in
+    let lo = Array.make ncols 0.0 and up = Array.make ncols infinity in
+    Array.blit p.lower 0 lo 0 n;
+    Array.blit p.upper 0 up 0 n;
+    let rhs = Array.make m 0.0 in
+    let cols = Array.make ncols [||] in
+    let by_col = Array.make (max n 1) [] in
+    List.iteri
+      (fun i (terms, r, is_eq) ->
+        rhs.(i) <- r;
+        if is_eq then up.(n + i) <- 0.0;
+        List.iter (fun (v, c) -> by_col.(v) <- (i, c) :: by_col.(v)) terms)
+      rows;
+    for j = 0 to n - 1 do
+      cols.(j) <- Array.of_list (List.rev by_col.(j))
+    done;
+    for i = 0 to m - 1 do
+      cols.(n + i) <- [| (i, 1.0) |]
+    done;
+    let cost = Array.make ncols 0.0 in
+    Array.blit p.objective 0 cost 0 n;
+    let status = Array.make ncols At_lower in
+    for j = 0 to n - 1 do
+      if cost.(j) < 0.0 then status.(j) <- At_upper
+    done;
+    let basis = Array.init m (fun i -> n + i) in
+    for i = 0 to m - 1 do
+      status.(n + i) <- Basic
+    done;
+    let binv = Array.make_matrix m m 0.0 in
+    for i = 0 to m - 1 do
+      binv.(i).(i) <- 1.0
+    done;
+    let st =
+      {
+        m;
+        ncols;
+        lo;
+        up;
+        cols;
+        rhs;
+        cost;
+        status;
+        basis;
+        binv;
+        xb = Array.make m 0.0;
+        work = Array.make m 0.0;
+      }
+    in
+    recompute_xb st;
+    (* All-slack basis: y = 0, so the reduced costs are the costs
+       themselves; [d] is maintained incrementally from here on. *)
+    Some
+      {
+        inst_n = n;
+        st;
+        pivots = 0;
+        d = Array.copy cost;
+        alpha = Array.make ncols 0.0;
+      }
+  end
+
+let instance_of_model ?lower ?upper model =
+  instance_of_problem (problem_of_model ?lower ?upper model)
+
+let n_rows t = t.st.m
+
+(* Bound changes never touch the basis or the reduced costs; only the
+   resting value of a nonbasic column moves, which shifts the basic
+   solution by -delta * Binv A_v — O(m * nnz_v), so a warm [resolve] pays
+   nothing for the bounds that did not change. *)
+let set_bounds t v ~lo ~up =
+  let st = t.st in
+  if st.lo.(v) <> lo || st.up.(v) <> up then begin
+    match st.status.(v) with
+    | Basic ->
+        st.lo.(v) <- lo;
+        st.up.(v) <- up
+    | At_lower | At_upper ->
+        let old_val = nonbasic_value st v in
+        st.lo.(v) <- lo;
+        st.up.(v) <- up;
+        let delta = nonbasic_value st v -. old_val in
+        if delta <> 0.0 then
+          Array.iter
+            (fun (i, a) ->
+              let da = delta *. a in
+              for k = 0 to st.m - 1 do
+                st.xb.(k) <- st.xb.(k) -. (st.binv.(k).(i) *. da)
+              done)
+            st.cols.(v)
+  end
+
+(* Reduced costs of every column from scratch: d = c - c_B Binv A. *)
+let compute_duals t =
+  let st = t.st in
+  let m = st.m in
+  let y = Array.make m 0.0 in
+  for k = 0 to m - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      let cb = st.cost.(st.basis.(i)) in
+      if cb <> 0.0 then acc := !acc +. (cb *. st.binv.(i).(k))
+    done;
+    y.(k) <- !acc
+  done;
+  for j = 0 to st.ncols - 1 do
+    if st.status.(j) = Basic then t.d.(j) <- 0.0
+    else
+      t.d.(j) <-
+        Array.fold_left
+          (fun acc (i, a) -> acc -. (y.(i) *. a))
+          st.cost.(j) st.cols.(j)
+  done
+
+(* Flip mis-signed nonbasics to their other (finite) bound.  Bound changes
+   never break dual feasibility, so this only fires after numerical drift
+   or a basis restore; returns false when a column with an infinite
+   opposite bound blocks it.  Sets [flipped] when any status moved (the
+   caller must then recompute x_B). *)
+let repair_dual_feasibility ?flipped t =
+  let st = t.st in
+  let ok = ref true in
+  let flip j status =
+    st.status.(j) <- status;
+    Option.iter (fun r -> r := true) flipped
+  in
+  for j = 0 to st.ncols - 1 do
+    if st.lo.(j) < st.up.(j) then
+      match st.status.(j) with
+      | At_lower when t.d.(j) < -.eps_dual ->
+          if st.up.(j) < infinity then flip j At_upper else ok := false
+      | At_upper when t.d.(j) > eps_dual ->
+          if st.lo.(j) > neg_infinity then flip j At_lower else ok := false
+      | _ -> ()
+  done;
+  !ok
+
+let dual_objective t =
+  let st = t.st in
+  let z = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let c = st.cost.(st.basis.(i)) in
+    if c <> 0.0 then z := !z +. (c *. st.xb.(i))
+  done;
+  for j = 0 to st.ncols - 1 do
+    if st.status.(j) <> Basic && st.cost.(j) <> 0.0 then
+      z := !z +. (st.cost.(j) *. nonbasic_value st j)
+  done;
+  !z
+
+(* Residual audit against the original matrix: catches basis-inverse drift
+   that the in-basis bookkeeping cannot see.  O(nnz). *)
+let primal_residual_ok t =
+  let st = t.st in
+  let m = st.m in
+  let r = Array.copy st.rhs in
+  let row_of = Array.make st.ncols (-1) in
+  for i = 0 to m - 1 do
+    row_of.(st.basis.(i)) <- i
+  done;
+  for j = 0 to st.ncols - 1 do
+    let x =
+      if st.status.(j) = Basic then st.xb.(row_of.(j)) else nonbasic_value st j
+    in
+    if x <> 0.0 then
+      Array.iter (fun (i, a) -> r.(i) <- r.(i) -. (a *. x)) st.cols.(j)
+  done;
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    if Float.abs r.(i) > 1e-5 *. (1.0 +. Float.abs st.rhs.(i)) then ok := false
+  done;
+  !ok
+
+let extract_optimal t =
+  let st = t.st in
+  let primal = Array.make t.inst_n 0.0 in
+  for j = 0 to t.inst_n - 1 do
+    match st.status.(j) with
+    | At_lower -> primal.(j) <- st.lo.(j)
+    | At_upper -> primal.(j) <- st.up.(j)
+    | Basic -> ()
+  done;
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) < t.inst_n then primal.(st.basis.(i)) <- st.xb.(i)
+  done;
+  let obj = ref 0.0 in
+  for j = 0 to t.inst_n - 1 do
+    if st.cost.(j) <> 0.0 then obj := !obj +. (st.cost.(j) *. primal.(j))
+  done;
+  Optimal { objective = !obj; primal }
+
+(* Bounded-variable dual simplex from the current (dual-feasible) basis.
+   Leaving: most-violated basic bound (Bland: smallest row) — entering:
+   shortest dual ratio |d_j / alpha_j| among sign-eligible nonbasics,
+   tie-broken by pivot magnitude (Bland: smallest column index). *)
+let resolve ?(max_iters = 256) t =
+  let st = t.st in
+  let m = st.m in
+  (* [d] and [xb] are maintained incrementally (across pivots by the loop,
+     across bound changes by [set_bounds]), so a warm entry costs one
+     O(ncols) dual-feasibility scan, not an O(m^2) rebuild. *)
+  let flipped = ref false in
+  let dual_ok =
+    repair_dual_feasibility ~flipped t
+    || (refactorize st
+        &&
+        (compute_duals t;
+         flipped := true;
+         repair_dual_feasibility t))
+  in
+  if not dual_ok then Iteration_limit
+  else begin
+    if !flipped then recompute_xb st;
+    let iters = ref 0 in
+    let since_progress = ref 0 in
+    let last_dual = ref neg_infinity in
+    let audited = ref false in
+    let rec loop () =
+      if !iters >= max_iters then Iteration_limit
+      else begin
+        incr iters;
+        let bland = !since_progress > 2 * (m + 10) in
+        (* leaving row *)
+        let r = ref (-1) and viol = ref eps_feas and below = ref true in
+        (try
+           for i = 0 to m - 1 do
+             let b = st.basis.(i) in
+             let v1 = st.lo.(b) -. st.xb.(i) in
+             let v2 = st.xb.(i) -. st.up.(b) in
+             if v1 > !viol then begin
+               r := i;
+               viol := v1;
+               below := true;
+               if bland then raise Exit
+             end
+             else if v2 > !viol then begin
+               r := i;
+               viol := v2;
+               below := false;
+               if bland then raise Exit
+             end
+           done
+         with Exit -> ());
+        if !r < 0 then
+          (* primal feasible: optimal, after a one-shot drift audit *)
+          if !audited || primal_residual_ok t then extract_optimal t
+          else begin
+            audited := true;
+            if refactorize st then begin
+              compute_duals t;
+              if repair_dual_feasibility t then begin
+                recompute_xb st;
+                loop ()
+              end
+              else Iteration_limit
+            end
+            else Iteration_limit
+          end
+        else begin
+          let r = !r in
+          let sign = if !below then 1.0 else -1.0 in
+          let binvr = st.binv.(r) in
+          for j = 0 to st.ncols - 1 do
+            if st.status.(j) = Basic then t.alpha.(j) <- 0.0
+            else
+              t.alpha.(j) <-
+                Array.fold_left
+                  (fun acc (i, a) -> acc +. (binvr.(i) *. a))
+                  0.0 st.cols.(j)
+          done;
+          let eligible j =
+            st.status.(j) <> Basic
+            && st.lo.(j) < st.up.(j)
+            &&
+            let a = sign *. t.alpha.(j) in
+            match st.status.(j) with
+            | At_lower -> a < -.eps_pivot
+            | At_upper -> a > eps_pivot
+            | Basic -> false
+          in
+          let minr = ref infinity in
+          for j = 0 to st.ncols - 1 do
+            if eligible j then begin
+              let ratio = Float.abs t.d.(j) /. Float.abs t.alpha.(j) in
+              if ratio < !minr then minr := ratio
+            end
+          done;
+          if !minr = infinity then Infeasible (* dual unbounded *)
+          else begin
+            let enter = ref (-1) and ba = ref 0.0 in
+            (try
+               for j = 0 to st.ncols - 1 do
+                 if eligible j then begin
+                   let ratio = Float.abs t.d.(j) /. Float.abs t.alpha.(j) in
+                   if ratio <= !minr +. 1e-9 then
+                     if bland then begin
+                       enter := j;
+                       raise Exit
+                     end
+                     else if Float.abs t.alpha.(j) > Float.abs !ba then begin
+                       enter := j;
+                       ba := t.alpha.(j)
+                     end
+                 end
+               done
+             with Exit -> ());
+            let j = !enter in
+            let arj = t.alpha.(j) in
+            let b = st.basis.(r) in
+            let target = if !below then st.lo.(b) else st.up.(b) in
+            let tj = (st.xb.(r) -. target) /. arj in
+            (* w = Binv A_j *)
+            let w = st.work in
+            Array.fill w 0 m 0.0;
+            Array.iter
+              (fun (i, a) ->
+                for k = 0 to m - 1 do
+                  w.(k) <- w.(k) +. (st.binv.(k).(i) *. a)
+                done)
+              st.cols.(j);
+            let entering_value = nonbasic_value st j +. tj in
+            for i = 0 to m - 1 do
+              if i <> r then st.xb.(i) <- st.xb.(i) -. (tj *. w.(i))
+            done;
+            st.status.(b) <- (if !below then At_lower else At_upper);
+            st.status.(j) <- Basic;
+            st.basis.(r) <- j;
+            st.xb.(r) <- entering_value;
+            let wr = w.(r) in
+            let rowr = st.binv.(r) in
+            for k = 0 to m - 1 do
+              rowr.(k) <- rowr.(k) /. wr
+            done;
+            for i = 0 to m - 1 do
+              if i <> r && Float.abs w.(i) > 0.0 then begin
+                let f = w.(i) in
+                let rowi = st.binv.(i) in
+                for k = 0 to m - 1 do
+                  rowi.(k) <- rowi.(k) -. (f *. rowr.(k))
+                done
+              end
+            done;
+            (* incremental reduced costs: d_k -= theta alpha_k *)
+            let theta = t.d.(j) /. arj in
+            if theta <> 0.0 then
+              for k = 0 to st.ncols - 1 do
+                if st.status.(k) <> Basic && t.alpha.(k) <> 0.0 then
+                  t.d.(k) <- t.d.(k) -. (theta *. t.alpha.(k))
+              done;
+            t.d.(j) <- 0.0;
+            t.d.(b) <- -.theta;
+            t.pivots <- t.pivots + 1;
+            (* periodic refresh of the incrementally-updated state; any
+               drift-induced status flip invalidates x_B *)
+            if t.pivots mod refactor_period = 0 || !iters mod 64 = 0 then begin
+              if t.pivots mod refactor_period = 0 && not (refactorize st) then
+                raise Exit;
+              compute_duals t;
+              let fl = ref false in
+              ignore (repair_dual_feasibility ~flipped:fl t);
+              if !fl then recompute_xb st
+            end;
+            let z = dual_objective t in
+            if z > !last_dual +. 1e-9 then begin
+              last_dual := z;
+              since_progress := 0
+            end
+            else incr since_progress;
+            loop ()
+          end
+        end
+      end
+    in
+    try loop () with Exit -> Iteration_limit
+  end
+
+let add_row t terms rhs =
+  let st = t.st in
+  let n = t.inst_n and m = st.m in
+  let m' = m + 1 and ncols' = st.ncols + 1 in
+  let grow a x =
+    let b = Array.make (Array.length a + 1) x in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  in
+  let coef = Array.make (max n 1) 0.0 in
+  List.iter (fun (v, c) -> coef.(v) <- coef.(v) +. c) terms;
+  let cols = Array.make ncols' [||] in
+  for j = 0 to st.ncols - 1 do
+    cols.(j) <-
+      (if j < n && coef.(j) <> 0.0 then grow st.cols.(j) (m, coef.(j))
+       else st.cols.(j))
+  done;
+  cols.(ncols' - 1) <- [| (m, 1.0) |];
+  (* Binv of the bordered basis [[B 0] [a_B 1]]: old inverse extended with
+     a zero column, plus a last row  -a_B Binv | 1. *)
+  let binv = Array.make m' [||] in
+  for i = 0 to m - 1 do
+    binv.(i) <- grow st.binv.(i) 0.0
+  done;
+  let last = Array.make m' 0.0 in
+  last.(m) <- 1.0;
+  for i = 0 to m - 1 do
+    let b = st.basis.(i) in
+    let a = if b < n then coef.(b) else 0.0 in
+    if a <> 0.0 then
+      for k = 0 to m - 1 do
+        last.(k) <- last.(k) -. (a *. st.binv.(i).(k))
+      done
+  done;
+  binv.(m) <- last;
+  let status = grow st.status Basic in
+  let basis = grow st.basis (ncols' - 1) in
+  t.st <-
+    {
+      m = m';
+      ncols = ncols';
+      lo = grow st.lo 0.0;
+      up = grow st.up infinity;
+      cols;
+      rhs = grow st.rhs rhs;
+      cost = grow st.cost 0.0;
+      status;
+      basis;
+      binv;
+      xb = Array.make m' 0.0;
+      work = Array.make m' 0.0;
+    };
+  (* the appended basic slack has reduced cost 0 and leaves y unchanged
+     (its cost is 0), so the existing reduced costs stay valid *)
+  let d' = Array.make ncols' 0.0 in
+  Array.blit t.d 0 d' 0 (ncols' - 1);
+  t.d <- d';
+  t.alpha <- Array.make ncols' 0.0;
+  recompute_xb t.st
+
+(* Reads the incrementally-maintained reduced costs — O(n), no fresh
+   O(m^2) dual computation.  Meaningful right after an [Optimal] resolve. *)
+let nonbasic_reduced_costs t =
+  let st = t.st in
+  let acc = ref [] in
+  for j = t.inst_n - 1 downto 0 do
+    if st.lo.(j) < st.up.(j) then
+      match st.status.(j) with
+      | Basic -> ()
+      | At_lower -> if t.d.(j) > eps_dual then acc := (j, false, t.d.(j)) :: !acc
+      | At_upper -> if t.d.(j) < -.eps_dual then acc := (j, true, t.d.(j)) :: !acc
+  done;
+  !acc
+
+(* Weak duality: for the prices behind the current reduced costs, the
+   Lagrangian bound L(y) = y b + sum_j min(d_j lo_j, d_j up_j) lower-bounds
+   the LP optimum at ANY basis — primal feasible or not.  With every
+   nonbasic resting at its reduced-cost-favoured bound L(y) is exactly the
+   basic solution's objective; a mis-signed nonbasic (post-drift) costs a
+   |d| * width correction.  This turns an iteration-capped [resolve] into
+   a usable bound instead of a wasted solve.  [None] when a mis-signed
+   column has infinite width (the correction would be -inf). *)
+let dual_bound t =
+  let st = t.st in
+  let corr = ref 0.0 in
+  let usable = ref true in
+  for j = 0 to st.ncols - 1 do
+    match st.status.(j) with
+    | Basic -> ()
+    | At_lower ->
+        if t.d.(j) < 0.0 then begin
+          let w = st.up.(j) -. st.lo.(j) in
+          if w = infinity then usable := false
+          else corr := !corr -. (t.d.(j) *. w)
+        end
+    | At_upper ->
+        if t.d.(j) > 0.0 then begin
+          let w = st.up.(j) -. st.lo.(j) in
+          if w = infinity then usable := false
+          else corr := !corr +. (t.d.(j) *. w)
+        end
+  done;
+  if !usable then Some (dual_objective t -. !corr) else None
+
+type snapshot = {
+  snap_status : status array;
+  snap_basis : int array;
+  snap_ncols : int;
+}
+
+let save t =
+  {
+    snap_status = Array.copy t.st.status;
+    snap_basis = Array.copy t.st.basis;
+    snap_ncols = t.st.ncols;
+  }
+
+let restore t snap =
+  if snap.snap_ncols <> t.st.ncols then false
+  else begin
+    Array.blit snap.snap_status 0 t.st.status 0 t.st.ncols;
+    Array.blit snap.snap_basis 0 t.st.basis 0 t.st.m;
+    t.pivots <- 0;
+    let ok = refactorize t.st in
+    if ok then compute_duals t;
+    ok
+  end

@@ -15,6 +15,7 @@ type options = {
   time_limit : float option;
   node_limit : int option;
   lp : lp_mode;
+  cuts : bool;
   branch_order : int list option;
   prefer_high : bool;
   warm_start : int array option;
@@ -29,6 +30,7 @@ let default =
     time_limit = None;
     node_limit = None;
     lp = Lp_root;
+    cuts = true;
     branch_order = None;
     prefer_high = true;
     warm_start = None;
@@ -38,14 +40,51 @@ let default =
     shared_incumbent = None;
   }
 
-(* Internal row: terms `sum coef*var <= rhs`.  Eq model rows are split into
-   two Le rows; Ge rows are negated.  [minact] caches the row's minimal
-   activity (sum of a*lb for a > 0, a*ub for a < 0) and is maintained
-   incrementally by every bound change and its trail undo, so propagation
-   never rescans the terms to recompute it. *)
-type row = { terms : (int * int) array; mutable rhs : int; mutable minact : int }
+(* Internal row: `sum coefs.(i) * vars.(i) <= rhs`.  Eq model rows are
+   split into two Le rows; Ge rows are negated.  The terms live in two
+   parallel unboxed int arrays — propagation walks every term of every
+   touched row, and chasing (int * int) tuple pointers there dominated the
+   profile.  [minact] caches the row's minimal activity (sum of a*lb for
+   a > 0, a*ub for a < 0) and is maintained incrementally by every bound
+   change and its trail undo, so propagation never rescans the terms to
+   recompute it. *)
+type row = {
+  coefs : int array;
+  vars : int array;
+  mutable rhs : int;
+  mutable minact : int;
+  mutable stamp : int;
+      (* generation of the last (non-probing) min-activity change; lets
+         probing skip variables whose rows haven't moved since their last
+         probe *)
+}
+
+let row_of_terms terms rhs =
+  {
+    coefs = Array.map fst terms;
+    vars = Array.map snd terms;
+    rhs;
+    minact = 0;
+    stamp = 1;
+  }
 
 exception Out_of_time
+
+(* Warm LP engine state: one persistent dual-simplex instance reused across
+   every node of the DFS.  The basis is never rewound with the trail — the
+   parent's optimal basis stays dual feasible under the child's bounds, so
+   each node re-solves in a few dual pivots from wherever the last node
+   left off.  [root_basis] is a recovery point (restored after repeated
+   numerical failures), not a per-node protocol. *)
+type lp_state = {
+  inst : Simplex.instance;
+  root_basis : Simplex.snapshot;
+  mutable fails : int;  (* consecutive resolves without a usable result *)
+  mutable last_obj : float;  (* objective of the last Optimal resolve *)
+  mutable at_optimum : bool;
+      (* the last resolve reached optimality — required before the
+         reduced costs can drive variable fixing *)
+}
 
 type search = {
   model : Model.t;
@@ -54,8 +93,10 @@ type search = {
   ub : int array;
   rows : row array;
   occ_rows : int array array;  (* var -> deduped row indices, for the worklist *)
-  occ_pos : (int * int) array array;  (* var -> (row idx, coef > 0) *)
-  occ_neg : (int * int) array array;  (* var -> (row idx, coef < 0) *)
+  occ_pos_ri : int array array;  (* var -> row indices with coef > 0 ... *)
+  occ_pos_a : int array array;  (* ... and the matching coefficients *)
+  occ_neg_ri : int array array;  (* var -> row indices with coef < 0 ... *)
+  occ_neg_a : int array array;  (* ... and the matching coefficients *)
   obj_terms : (int * int) array;
   objc : int array;  (* var -> objective coefficient (0 when absent) *)
   obj_row : row option;  (* objective cutoff, rhs tightened on incumbents *)
@@ -67,6 +108,17 @@ type search = {
   mutable nodes : int;
   mutable ticks : int;  (* row propagations, for the limit-check cadence *)
   mutable root_bound : int;
+  mutable lp_st : lp_state option;
+  prop_queue : int Queue.t;  (* propagation worklist scratch, reused *)
+  prop_queued : int array;  (* row -> generation when last enqueued *)
+  mutable prop_gen : int;
+  probe_stamp : int array;  (* var -> change generation at last probe *)
+  mutable change_gen : int;  (* bound-change generation counter *)
+  mutable no_stamp : bool;  (* true inside probing trials: don't stamp *)
+  mutable probe_hit : bool;  (* last probe_candidates landed a fixing *)
+  mutable probe_miss : int;  (* consecutive probe calls without a fixing *)
+  mutable probe_skip : int;  (* nodes left to skip before probing again *)
+  probe_depth : int;  (* deepest node level probing may fire at *)
   branch_seq : int array;
   act : float array;  (* conflict-driven branching activity (VSIDS-style) *)
   mutable act_inc : float;
@@ -78,11 +130,13 @@ let now () = Unix.gettimeofday ()
 (* --- trail + incremental activities ------------------------------------ *)
 
 let apply_lb_delta s v delta =
-  let ps = s.occ_pos.(v) in
-  for i = 0 to Array.length ps - 1 do
-    let ri, a = ps.(i) in
-    let r = s.rows.(ri) in
-    r.minact <- r.minact + (a * delta)
+  if not s.no_stamp then s.change_gen <- s.change_gen + 1;
+  let gen = s.change_gen and stamping = not s.no_stamp in
+  let ri = s.occ_pos_ri.(v) and aa = s.occ_pos_a.(v) in
+  for i = 0 to Array.length ri - 1 do
+    let r = s.rows.(ri.(i)) in
+    r.minact <- r.minact + (aa.(i) * delta);
+    if stamping then r.stamp <- gen
   done;
   let c = s.objc.(v) in
   if c > 0 then
@@ -91,11 +145,13 @@ let apply_lb_delta s v delta =
     | None -> ()
 
 let apply_ub_delta s v delta =
-  let ns = s.occ_neg.(v) in
-  for i = 0 to Array.length ns - 1 do
-    let ri, a = ns.(i) in
-    let r = s.rows.(ri) in
-    r.minact <- r.minact + (a * delta)
+  if not s.no_stamp then s.change_gen <- s.change_gen + 1;
+  let gen = s.change_gen and stamping = not s.no_stamp in
+  let ri = s.occ_neg_ri.(v) and aa = s.occ_neg_a.(v) in
+  for i = 0 to Array.length ri - 1 do
+    let r = s.rows.(ri.(i)) in
+    r.minact <- r.minact + (aa.(i) * delta);
+    if stamping then r.stamp <- gen
   done;
   let c = s.objc.(v) in
   if c < 0 then
@@ -160,7 +216,7 @@ let cutoff s =
 
 let bump_conflict s (r : row) =
   let inc = s.act_inc in
-  Array.iter (fun (_, v) -> s.act.(v) <- s.act.(v) +. inc) r.terms;
+  Array.iter (fun v -> s.act.(v) <- s.act.(v) +. inc) r.vars;
   s.act_inc <- inc *. 1.02;
   if s.act_inc > 1e100 then begin
     for v = 0 to s.n - 1 do
@@ -184,37 +240,50 @@ let propagate_row s (r : row) ~touch =
   end
   else begin
     let slack = r.rhs - minact in
-    Array.iter
-      (fun (a, v) ->
-        if a > 0 then begin
-          (* a * (x - lb) <= slack *)
-          let max_x = s.lb.(v) + (slack / a) in
-          if max_x < s.ub.(v) then begin
-            set_ub s v max_x;
-            touch v
-          end
+    let coefs = r.coefs and vars = r.vars in
+    for i = 0 to Array.length coefs - 1 do
+      let a = coefs.(i) and v = vars.(i) in
+      (* Unit coefficients dominate these models; skipping the integer
+         division for them is worth a branch. *)
+      if a > 0 then begin
+        (* a * (x - lb) <= slack *)
+        let max_x = s.lb.(v) + (if a = 1 then slack else slack / a) in
+        if max_x < s.ub.(v) then begin
+          set_ub s v max_x;
+          touch v
         end
-        else begin
-          (* (-a) * (ub - x) <= slack  =>  x >= ub - slack / (-a) *)
-          let na = -a in
-          let min_x = s.ub.(v) - (slack / na) in
-          if min_x > s.lb.(v) then begin
-            set_lb s v min_x;
-            touch v
-          end
-        end)
-      r.terms;
+      end
+      else begin
+        (* (-a) * (ub - x) <= slack  =>  x >= ub - slack / (-a) *)
+        let min_x =
+          s.ub.(v) - (if a = -1 then slack else slack / -a)
+        in
+        if min_x > s.lb.(v) then begin
+          set_lb s v min_x;
+          touch v
+        end
+      end
+    done;
     true
   end
 
 (* Worklist propagation to fixpoint starting from the given variables (or
-   all rows when [None]). *)
-let propagate s seeds =
-  let pending = Queue.create () in
-  let queued = Array.make (Array.length s.rows) false in
+   all rows when [None]).  [budget] caps the number of row propagations:
+   an exhausted budget stops early and reports [true] — sound for probing
+   trials, where a missed deduction only means a missed fixing, never a
+   wrong one (callers undo the trial bounds either way). *)
+let propagate ?(budget = max_int) s seeds =
+  (* Scratch reuse: probing calls this hundreds of times per node, so the
+     worklist queue and its membership stamps live in the search record —
+     a fresh generation number invalidates all stamps in O(1). *)
+  s.prop_gen <- s.prop_gen + 1;
+  let gen = s.prop_gen in
+  let pending = s.prop_queue in
+  Queue.clear pending;
+  let queued = s.prop_queued in
   let enqueue_row i =
-    if not queued.(i) then begin
-      queued.(i) <- true;
+    if queued.(i) <> gen then begin
+      queued.(i) <- gen;
       Queue.add i pending
     end
   in
@@ -223,6 +292,7 @@ let propagate s seeds =
   | None -> Array.iteri (fun i _ -> enqueue_row i) s.rows
   | Some vars -> List.iter touch vars);
   let ok = ref true in
+  let left = ref budget in
   (* The objective cutoff row participates whenever a cutoff is known.  Its
      tightenings enqueue ordinary rows, so the whole thing must run to a
      joint fixpoint: drain the queue, re-run the cutoff pass, and repeat
@@ -239,19 +309,20 @@ let propagate s seeds =
         end
   in
   let drain () =
-    while !ok && not (Queue.is_empty pending) do
+    while !ok && !left > 0 && not (Queue.is_empty pending) do
       (* Deep propagation-heavy subtrees must still honour the limits:
          check on a coarse tick counter rather than only per node. *)
       s.ticks <- s.ticks + 1;
+      decr left;
       if s.ticks land 2047 = 0 then check_limits s;
       let i = Queue.take pending in
-      queued.(i) <- false;
+      queued.(i) <- 0;
       if not (propagate_row s s.rows.(i) ~touch) then ok := false
     done
   in
   let rec fixpoint () =
     drain ();
-    if !ok then
+    if !ok && !left > 0 then
       if not (obj_pass ()) then ok := false
       else if not (Queue.is_empty pending) then fixpoint ()
   in
@@ -263,19 +334,232 @@ let propagate s seeds =
 let objective_min_activity s =
   match s.obj_row with Some r -> r.minact | None -> 0
 
+(* The LP is float-based; round up only past a safety margin so the integer
+   bound can never overshoot the true optimum. *)
+let safe_bound obj =
+  int_of_float (Float.ceil (obj -. 1e-4 -. (1e-9 *. Float.abs obj)))
+
+(* An explicit infeasibility constructor instead of the old [Some max_int]
+   sentinel, which any caller arithmetic could have silently overflowed. *)
+type node_bound = Bound of int | Bound_infeasible | Bound_none
+
+(* At most this many dual pivots per node LP.  A capped solve still
+   returns its weak-duality bound, so the cap trades bound sharpness for
+   node throughput — unfinished re-optimization simply continues from the
+   same basis at the next node. *)
+let node_lp_iters = 40
+
 let lp_bound s =
-  match Simplex.relax ~lower:s.lb ~upper:s.ub s.model with
-  | Simplex.Optimal { objective; _ } ->
-      (* Safety margin before integer rounding: the LP is float-based. *)
-      Some (int_of_float (Float.ceil (objective -. 1e-4 -. (1e-9 *. Float.abs objective))))
-  | Simplex.Infeasible -> Some max_int
-  | Simplex.Unbounded | Simplex.Iteration_limit -> None
+  match s.lp_st with
+  | Some st when st.fails < 50 -> begin
+      let inst = st.inst in
+      for v = 0 to s.n - 1 do
+        Simplex.set_bounds inst v ~lo:(float_of_int s.lb.(v))
+          ~up:(float_of_int s.ub.(v))
+      done;
+      match Simplex.resolve ~max_iters:node_lp_iters inst with
+      | Simplex.Optimal { objective; _ } ->
+          st.fails <- 0;
+          st.last_obj <- objective;
+          st.at_optimum <- true;
+          Bound (safe_bound objective)
+      | Simplex.Infeasible ->
+          st.fails <- 0;
+          st.at_optimum <- false;
+          Bound_infeasible
+      | Simplex.Iteration_limit | Simplex.Unbounded -> (
+          st.at_optimum <- false;
+          match Simplex.dual_bound inst with
+          | Some z ->
+              st.fails <- 0;
+              Bound (safe_bound z)
+          | None ->
+              st.fails <- st.fails + 1;
+              if st.fails mod 5 = 0 then
+                ignore (Simplex.restore inst st.root_basis);
+              Bound_none)
+    end
+  | Some _ -> Bound_none (* engine written off after repeated failures *)
+  | None -> begin
+      (* cold fallback: two-phase solve from scratch *)
+      match Simplex.relax ~lower:s.lb ~upper:s.ub s.model with
+      | Simplex.Optimal { objective; _ } -> Bound (safe_bound objective)
+      | Simplex.Infeasible -> Bound_infeasible
+      | Simplex.Unbounded | Simplex.Iteration_limit -> Bound_none
+    end
+
+(* Reduced-cost fixing against cutoff [c]: with node LP value [z], moving a
+   nonbasic variable off its bound costs at least its reduced cost, so if
+   [z + |d|] already rounds to [>= c] no solution *better* than the
+   incumbent can move it — fix it at the bound for the whole subtree (via
+   the trail, so backtracking undoes it).  Returns the fixed variables for
+   the propagation fixpoint. *)
+let reduced_cost_fix s c =
+  match s.lp_st with
+  | None -> []
+  | Some st when not st.at_optimum -> []
+  | Some st ->
+      let z = st.last_obj in
+      let fixed = ref [] in
+      List.iter
+        (fun (v, at_upper, d) ->
+          if s.lb.(v) < s.ub.(v) && safe_bound (z +. Float.abs d) >= c then begin
+            if at_upper then set_lb s v s.ub.(v) else set_ub s v s.lb.(v);
+            fixed := v :: !fixed
+          end)
+        (Simplex.nonbasic_reduced_costs st.inst);
+      !fixed
+
+(* Root probing (failed-literal shaving) against the incumbent cutoff:
+   tentatively commit each endpoint of every unit-domain variable and run
+   the propagation fixpoint; an endpoint that conflicts is removed for
+   good.  Because the objective cutoff row joins the fixpoint, this is
+   objective-driven — a fixing only ever excludes solutions no better
+   than the incumbent, so the optimum survives.  Passes repeat while
+   fixings land; [false] means the root itself is exhausted under the
+   cutoff, i.e. the incumbent is optimal. *)
+let probe_fixpoint s ~max_passes =
+  if cutoff s = max_int then true
+  else begin
+    let alive = ref true in
+    let changed = ref true in
+    let passes = ref 0 in
+    while !alive && !changed && !passes < max_passes do
+      incr passes;
+      changed := false;
+      let i = ref 0 in
+      while !alive && !i < s.n do
+        let v = !i in
+        if s.ub.(v) - s.lb.(v) = 1 then begin
+          let lo = s.lb.(v) and hi = s.ub.(v) in
+          let m = mark s in
+          set_ub s v lo;
+          let ok_lo = propagate s (Some [ v ]) in
+          undo_to s m;
+          if not ok_lo then begin
+            set_lb s v hi;
+            changed := true;
+            if not (propagate s (Some [ v ])) then alive := false
+          end
+          else begin
+            let m = mark s in
+            set_lb s v hi;
+            let ok_hi = propagate s (Some [ v ]) in
+            undo_to s m;
+            if not ok_hi then begin
+              set_ub s v lo;
+              changed := true;
+              if not (propagate s (Some [ v ])) then alive := false
+            end
+          end
+        end;
+        incr i
+      done
+    done;
+    !alive
+  end
 
 let use_lp_at s depth =
   match s.opts.lp with
   | Lp_never -> false
   | Lp_root -> depth = 0
   | Lp_depth d -> depth <= d
+
+(* In-tree probing parameters.  [probe_window] candidates are examined per
+   probed node; each trial propagation is cut off after [probe_budget] row
+   propagations (a truncated trial just means a missed fixing, never a
+   wrong one).  [probe_half] probes only the endpoint the warm-start hint
+   disfavours — the branching step commits the hinted value first anyway,
+   so refuting the opposite endpoint is the deduction that pays. *)
+let probe_window = 24
+let probe_budget = 300
+let probe_half = true
+
+(* Exponential backoff on fruitless probing: after [m] consecutive probe
+   calls that fixed nothing, the next [2^m - 1] nodes skip probing
+   entirely (capped at 63-node gaps).  A search that is still improving
+   its incumbent rarely yields probe fixings, so probing self-throttles
+   to a few percent of nodes and the dive keeps its raw throughput; once
+   the search turns into an optimality proof the fixings come back, the
+   streak resets, and probing runs at full cadence where it pays. *)
+let probe_max_backoff = 6
+
+(* Probe only the next [w] unfixed variables in branch order — the node's
+   own branching candidates — instead of every unit-domain variable, and
+   skip any candidate none of whose rows changed since its last probe
+   (the row stamps): a probe can only learn something new when the
+   variable's neighbourhood moved.  Trial propagations run un-stamped so
+   probing never marks work dirty for itself; only real deductions (the
+   permanent fixings, and the search's own bound changes) do. *)
+let probe_candidates s ~w =
+  s.probe_hit <- false;
+  let alive = ref true in
+  let seen = ref 0 in
+  let i = ref 0 in
+  let n_seq = Array.length s.branch_seq in
+  while !alive && !i < n_seq && !seen < w do
+    let v = s.branch_seq.(!i) in
+    if s.ub.(v) - s.lb.(v) = 1 then begin
+      incr seen;
+      let dirty = ref false in
+      let occ = s.occ_rows.(v) in
+      let last = s.probe_stamp.(v) in
+      let j = ref 0 in
+      while (not !dirty) && !j < Array.length occ do
+        if s.rows.(occ.(!j)).stamp > last then dirty := true;
+        incr j
+      done;
+      if !dirty then begin
+        s.probe_stamp.(v) <- s.change_gen;
+        let lo = s.lb.(v) and hi = s.ub.(v) in
+        (* With a warm-start hint, the hinted value is tried first by the
+           branching step anyway; probing just the opposite endpoint buys
+           the common deduction (hint forced) at half the cost. *)
+        let hint_lo =
+          match s.value_hint with Some h -> h.(v) <= lo | None -> true
+        in
+        let skip_lo = probe_half && not hint_lo in
+        let skip_hi = probe_half && hint_lo in
+        let ok_lo =
+          skip_lo
+          ||
+          let m = mark s in
+          s.no_stamp <- true;
+          set_ub s v lo;
+          let ok = propagate ~budget:probe_budget s (Some [ v ]) in
+          undo_to s m;
+          s.no_stamp <- false;
+          ok
+        in
+        if not ok_lo then begin
+          s.probe_hit <- true;
+          set_lb s v hi;
+          if not (propagate s (Some [ v ])) then alive := false
+        end
+        else begin
+          let ok_hi =
+            skip_hi
+            ||
+            let m = mark s in
+            s.no_stamp <- true;
+            set_lb s v hi;
+            let ok = propagate ~budget:probe_budget s (Some [ v ]) in
+            undo_to s m;
+            s.no_stamp <- false;
+            ok
+          in
+          if not ok_hi then begin
+            s.probe_hit <- true;
+            set_ub s v lo;
+            if not (propagate s (Some [ v ])) then alive := false
+          end
+        end
+      end
+    end
+    else if s.ub.(v) > s.lb.(v) then incr seen;
+    incr i
+  done;
+  !alive
 
 (* --- search ------------------------------------------------------------ *)
 
@@ -345,19 +629,47 @@ let pick_branch_var s =
   done;
   if !best < 0 then None else Some !best
 
+(* One backoff-gated probing step at a node: [true] when probing proved
+   the node infeasible against the cutoff.  Misses widen the skip gap
+   (see [probe_max_backoff]); any landed fixing resets it. *)
+let probe_prune s =
+  if s.probe_skip > 0 then begin
+    s.probe_skip <- s.probe_skip - 1;
+    false
+  end
+  else begin
+    let alive = probe_candidates s ~w:probe_window in
+    if s.probe_hit then s.probe_miss <- 0
+    else begin
+      s.probe_miss <- min (s.probe_miss + 1) probe_max_backoff;
+      s.probe_skip <- (1 lsl s.probe_miss) - 1
+    end;
+    not alive
+  end
+
 let rec dfs s depth =
   s.nodes <- s.nodes + 1;
   if s.nodes land 63 = 0 || use_lp_at s depth then check_limits s;
   let c = cutoff s in
   if c < max_int && objective_min_activity s >= c then ()
-  else if use_lp_at s depth then begin
+  else if
+    depth > 0 && depth <= s.probe_depth && c < max_int && probe_prune s
+  then ()
+    (* Below the root an LP bound only prunes against an incumbent; skip
+       the solve while there is none. *)
+  else if use_lp_at s depth && (depth = 0 || c < max_int) then begin
     match lp_bound s with
-    | Some b ->
+    | Bound_infeasible -> ()
+    | Bound_none -> branch s depth
+    | Bound b ->
         if depth = 0 && b > s.root_bound then s.root_bound <- b;
-        if b = max_int then () (* LP-infeasible node *)
-        else if c < max_int && b >= c then ()
-        else branch s depth
-    | None -> branch s depth
+        if c < max_int && b >= c then ()
+        else if c = max_int then branch s depth
+        else begin
+          (* bound-based fixings join the node's propagation fixpoint *)
+          let fixed = reduced_cost_fix s c in
+          if fixed = [] || propagate s (Some fixed) then branch s depth
+        end
   end
   else branch s depth
 
@@ -400,7 +712,70 @@ and branch s depth =
         undo_to s m
       end
 
+(* --- root cut loop ------------------------------------------------------ *)
+
+(* Solve the root LP, separate violated cover/clique cuts, append them to
+   (a copy of) the model and to the warm instance, and repeat until no cut
+   is violated, the round limit is hit, or the deadline passes.  Returns
+   the possibly-strengthened model and the warm instance (already hot on
+   the cut-augmented root LP) for the search to keep using. *)
+let root_cut_loop ?deadline ~(options : options) model =
+  match Simplex.instance_of_model model with
+  | None -> (model, None)
+  | Some inst ->
+      let model = ref model and copied = ref false in
+      let rounds = ref 0 and total = ref 0 and go = ref true in
+      while !go && !rounds < 8 do
+        incr rounds;
+        (match deadline with
+        | Some d when now () > d -> go := false
+        | Some _ | None -> ());
+        (match options.stop with
+        | Some flag when Atomic.get flag -> go := false
+        | Some _ | None -> ());
+        if !go then
+          match Simplex.resolve ~max_iters:20_000 inst with
+          | Simplex.Optimal { primal; _ } ->
+              let cuts = Cuts.separate !model ~x:primal ~max_cuts:64 in
+              if cuts = [] then go := false
+              else begin
+                if not !copied then begin
+                  model := Model.copy !model;
+                  copied := true
+                end;
+                List.iteri
+                  (fun i (c : Cuts.cut) ->
+                    Model.add_le !model
+                      ~name:(Printf.sprintf "cut%d_%d" !rounds i)
+                      (Linexpr.of_list c.terms) c.rhs;
+                    Simplex.add_row inst
+                      (List.map (fun (a, v) -> (v, float_of_int a)) c.terms)
+                      (float_of_int c.rhs))
+                  cuts;
+                total := !total + List.length cuts
+              end
+          | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit
+            ->
+              go := false
+      done;
+      if options.verbose && !total > 0 then
+        Printf.eprintf "[ilp] %d root cuts in %d rounds\n%!" !total
+          (!rounds - 1);
+      (!model, Some inst)
+
 let solve ?(options = default) model =
+  let started = now () in
+  (* Cut generation runs inside the solve budget; cap it at a quarter of
+     any time limit so branching always gets the lion's share. *)
+  let model, warm_inst =
+    if options.lp = Lp_never then (model, None)
+    else if options.cuts then
+      let deadline =
+        Option.map (fun tl -> started +. (0.25 *. tl)) options.time_limit
+      in
+      root_cut_loop ?deadline ~options model
+    else (model, Simplex.instance_of_model model)
+  in
   let n = Model.n_vars model in
   let lb = Array.make n 0 and ub = Array.make n 0 in
   for v = 0 to n - 1 do
@@ -415,52 +790,64 @@ let solve ?(options = default) model =
       let terms = Array.of_list (Linexpr.terms c.Model.expr) in
       let neg = Array.map (fun (a, v) -> (-a, v)) terms in
       match c.Model.sense with
-      | Model.Le -> rows := { terms; rhs = c.Model.rhs; minact = 0 } :: !rows
-      | Model.Ge -> rows := { terms = neg; rhs = -c.Model.rhs; minact = 0 } :: !rows
+      | Model.Le -> rows := row_of_terms terms c.Model.rhs :: !rows
+      | Model.Ge -> rows := row_of_terms neg (-c.Model.rhs) :: !rows
       | Model.Eq ->
           rows :=
-            { terms = neg; rhs = -c.Model.rhs; minact = 0 }
-            :: { terms; rhs = c.Model.rhs; minact = 0 }
+            row_of_terms neg (-c.Model.rhs)
+            :: row_of_terms terms c.Model.rhs
             :: !rows)
     (Model.constraints model);
   let rows = Array.of_list (List.rev !rows) in
   (* Occurrence lists, deduped and split by coefficient sign.  [occ_rows]
-     drives worklist enqueueing; [occ_pos]/[occ_neg] drive the incremental
+     drives worklist enqueueing; the pos/neg lists drive the incremental
      min-activity updates on lower/upper bound changes respectively. *)
   let occ_all = Array.make (max n 1) [] in
   Array.iteri
     (fun i r ->
-      Array.iter (fun (a, v) -> occ_all.(v) <- (i, a) :: occ_all.(v)) r.terms)
+      Array.iteri
+        (fun t a -> occ_all.(r.vars.(t)) <- (i, a) :: occ_all.(r.vars.(t)))
+        r.coefs)
     rows;
   let occ_rows =
     Array.map
       (fun l -> Array.of_list (List.sort_uniq compare (List.map fst l)))
       occ_all
   in
-  let occ_pos =
-    Array.map
-      (fun l -> Array.of_list (List.rev (List.filter (fun (_, a) -> a > 0) l)))
-      occ_all
+  let signed keep =
+    let ri =
+      Array.map
+        (fun l ->
+          Array.of_list (List.rev_map fst (List.filter (fun (_, a) -> keep a) l)))
+        occ_all
+    in
+    let a =
+      Array.map
+        (fun l ->
+          Array.of_list (List.rev_map snd (List.filter (fun (_, a) -> keep a) l)))
+        occ_all
+    in
+    (ri, a)
   in
-  let occ_neg =
-    Array.map
-      (fun l -> Array.of_list (List.rev (List.filter (fun (_, a) -> a < 0) l)))
-      occ_all
-  in
+  let occ_pos_ri, occ_pos_a = signed (fun a -> a > 0) in
+  let occ_neg_ri, occ_neg_a = signed (fun a -> a < 0) in
   let obj_terms = Array.of_list (Linexpr.terms (Model.objective model)) in
   let objc = Array.make (max n 1) 0 in
   Array.iter (fun (a, v) -> objc.(v) <- a) obj_terms;
   let obj_row =
     if Array.length obj_terms = 0 then None
-    else Some { terms = obj_terms; rhs = max_int / 2; minact = 0 }
+    else Some (row_of_terms obj_terms (max_int / 2))
   in
   (* Initial min-activities from the root bounds; every later bound change
      updates them through the trail. *)
   let init_minact (r : row) =
-    r.minact <-
-      Array.fold_left
-        (fun acc (a, v) -> acc + (if a > 0 then a * lb.(v) else a * ub.(v)))
-        0 r.terms
+    let acc = ref 0 in
+    Array.iteri
+      (fun i a ->
+        let v = r.vars.(i) in
+        acc := !acc + if a > 0 then a * lb.(v) else a * ub.(v))
+      r.coefs;
+    r.minact <- !acc
   in
   Array.iter init_minact rows;
   Option.iter init_minact obj_row;
@@ -487,19 +874,48 @@ let solve ?(options = default) model =
       ub;
       rows;
       occ_rows;
-      occ_pos;
-      occ_neg;
+      occ_pos_ri;
+      occ_pos_a;
+      occ_neg_ri;
+      occ_neg_a;
       obj_terms;
       objc;
       obj_row;
       trail = Stack.create ();
       opts = options;
-      started = now ();
+      started;
       incumbent = None;
       incumbent_obj = max_int;
       nodes = 0;
       ticks = 0;
       root_bound = min_int;
+      lp_st =
+        Option.map
+          (fun inst ->
+            {
+              inst;
+              root_basis = Simplex.save inst;
+              fails = 0;
+              last_obj = neg_infinity;
+              at_optimum = false;
+            })
+          warm_inst;
+      prop_queue = Queue.create ();
+      prop_queued = Array.make (max (Array.length rows) 1) 0;
+      prop_gen = 0;
+      probe_stamp = Array.make (max n 1) 0;
+      change_gen = 1;
+      no_stamp = false;
+      probe_hit = false;
+      probe_miss = 0;
+      probe_skip = 0;
+      (* A probing trial's propagation cost grows with the row count while
+         the plain node cost barely moves, so the break-even shifts with
+         model size: small models can afford shaving at every node, large
+         ones only near subtree roots, where a successful prune discards
+         the most work. *)
+      probe_depth =
+        (if Model.n_constraints model <= 512 then max_int else 8);
       branch_seq;
       act = Array.make (max n 1) 0.0;
       act_inc = 1.0;
@@ -518,7 +934,7 @@ let solve ?(options = default) model =
   let root_mark = ref 0 in
   let complete =
     try
-      let root_ok = propagate s None in
+      let root_ok = propagate s None && probe_fixpoint s ~max_passes:4 in
       root_mark := mark s;
       if root_ok then dfs s 0;
       true
@@ -567,3 +983,14 @@ let solve ?(options = default) model =
         nodes = s.nodes;
         time_s;
       }
+
+(* Shared cut generation for portfolio races: one cut loop, every member
+   branches on the strengthened model (with its own private instance). *)
+let with_root_cuts ?(options = default) model =
+  if options.lp = Lp_never || not options.cuts then model
+  else begin
+    let deadline =
+      Option.map (fun tl -> now () +. (0.25 *. tl)) options.time_limit
+    in
+    fst (root_cut_loop ?deadline ~options model)
+  end

@@ -35,6 +35,10 @@ type options = {
   time_limit : float option;  (** seconds *)
   node_limit : int option;
   lp : lp_mode;
+  cuts : bool;
+      (** run the root cutting-plane loop ({!Cuts}: extended cover +
+          clique cuts) before branching, when [lp] is not [Lp_never].
+          Cut generation is capped at a quarter of [time_limit]. *)
   branch_order : int list option;
       (** variables branched first, highest priority first; remaining
           variables follow in index order.  Branching is dynamic
@@ -65,7 +69,14 @@ type options = {
 }
 
 val default : options
-(** No limits, [Lp_root], no order, prefer 1, no warm start, quiet, no
-    cancellation token, no shared incumbent. *)
+(** No limits, [Lp_root], cuts on, no order, prefer 1, no warm start,
+    quiet, no cancellation token, no shared incumbent. *)
 
 val solve : ?options:options -> Model.t -> outcome
+
+val with_root_cuts : ?options:options -> Model.t -> Model.t
+(** The model strengthened by one root cutting-plane loop, for callers
+    that share cuts across several solves ({!Portfolio} runs this once
+    and hands every member the same strengthened model with
+    [cuts = false]).  Returns the model unchanged when [options] disables
+    cuts or LP bounding. *)

@@ -385,6 +385,155 @@ let prop_lp_is_lower_bound =
       | Some _, Ilp.Simplex.Infeasible -> false
       | Some _, (Ilp.Simplex.Unbounded | Ilp.Simplex.Iteration_limit) -> true)
 
+(* The node LP bound must never exceed the true 0-1 optimum of the
+   subproblem: re-solve the warm instance under random bound fixings (as
+   branch-and-bound does) and cross-check the LP objective — and the
+   weak-duality fallback bound — against brute force restricted to the
+   same fixings. *)
+let prop_node_lp_bound_sound =
+  QCheck2.Test.make ~name:"node LP bound lower-bounds the fixed subproblem"
+    ~count:100
+    QCheck2.Gen.(pair gen_small_model (int_range 0 1_000_000))
+    (fun (spec, seed) ->
+      let m = build_model spec in
+      let n = Ilp.Model.n_vars m in
+      let rng = Random.State.make [| seed |] in
+      let lower = Array.make n 0 and upper = Array.make n 1 in
+      for v = 0 to n - 1 do
+        match Random.State.int rng 3 with
+        | 0 ->
+            lower.(v) <- 0;
+            upper.(v) <- 0
+        | 1 ->
+            lower.(v) <- 1;
+            upper.(v) <- 1
+        | _ -> ()
+      done;
+      let restricted_opt =
+        let best = ref None in
+        for mask = 0 to (1 lsl n) - 1 do
+          let x = Array.init n (fun i -> (mask lsr i) land 1) in
+          let in_box = ref true in
+          for i = 0 to n - 1 do
+            if x.(i) < lower.(i) || x.(i) > upper.(i) then in_box := false
+          done;
+          let in_box = !in_box in
+          if in_box && Ilp.Model.check m x = Ok () then begin
+            let obj = Ilp.Model.objective_value m x in
+            match !best with
+            | Some b when b <= obj -> ()
+            | Some _ | None -> best := Some obj
+          end
+        done;
+        !best
+      in
+      match Ilp.Simplex.instance_of_model ~lower ~upper m with
+      | None -> true
+      | Some inst -> (
+          let sound_dual =
+            match (Ilp.Simplex.dual_bound inst, restricted_opt) with
+            | Some d, Some opt -> d <= float_of_int opt +. 1e-6
+            | _, _ -> true
+          in
+          sound_dual
+          &&
+          match (Ilp.Simplex.resolve inst, restricted_opt) with
+          | Ilp.Simplex.Optimal { objective; _ }, Some opt ->
+              objective <= float_of_int opt +. 1e-6
+          | Ilp.Simplex.Optimal _, None ->
+              (* LP feasible over an integer-infeasible box is fine *) true
+          | Ilp.Simplex.Infeasible, Some _ -> false
+          | Ilp.Simplex.Infeasible, None -> true
+          | (Ilp.Simplex.Unbounded | Ilp.Simplex.Iteration_limit), _ -> true))
+
+(* Reduced-cost fixing and probing are pruning heuristics driven by the
+   incumbent cutoff; forcing node LPs at every depth exercises both, and
+   the solver must still return the brute-force optimum. *)
+let prop_rc_fixing_preserves_optimum =
+  QCheck2.Test.make
+    ~name:"deep node LPs + reduced-cost fixing keep the optimum" ~count:150
+    gen_small_model (fun spec ->
+      let m = build_model spec in
+      let opts =
+        { Ilp.Solver.default with Ilp.Solver.lp = Ilp.Solver.Lp_depth 64 }
+      in
+      let r = Ilp.Solver.solve ~options:opts m in
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | None, _ -> false
+      | Some _, Ilp.Solver.Infeasible -> false
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+          && r.Ilp.Solver.bound = expect
+      | Some _, (Ilp.Solver.Feasible | Ilp.Solver.Unknown) -> false)
+
+(* Cover and clique cuts are derived from the constraint rows alone, so
+   they must not cut off any integer-feasible point (not merely the
+   optimum). *)
+let prop_root_cuts_preserve_feasible_set =
+  QCheck2.Test.make ~name:"root cuts preserve the 0-1 feasible set"
+    ~count:150 gen_small_model (fun spec ->
+      let m = build_model spec in
+      let m' = Ilp.Solver.with_root_cuts m in
+      let n = Ilp.Model.n_vars m in
+      let ok = ref true in
+      for mask = 0 to (1 lsl n) - 1 do
+        let x = Array.init n (fun i -> (mask lsr i) land 1) in
+        if Ilp.Model.check m x = Ok () && Ilp.Model.check m' x <> Ok () then
+          ok := false
+      done;
+      !ok)
+
+(* -- Warm-started dual simplex ------------------------------------------- *)
+
+(* Basis reuse across >= 1000 bound changes on one persistent instance per
+   model: every warm dual-simplex re-solve must agree with a cold two-phase
+   solve at the same bounds (status and objective). *)
+let test_warm_matches_cold () =
+  let rng = Random.State.make [| 42 |] in
+  let resolves = ref 0 in
+  let models = ref 0 in
+  while !resolves < 1000 do
+    incr models;
+    let m = build_model (QCheck2.Gen.generate1 ~rand:rng gen_small_model) in
+    match Ilp.Simplex.instance_of_model m with
+    | None -> Alcotest.fail "bounded model must yield an instance"
+    | Some inst ->
+        let n = Ilp.Model.n_vars m in
+        let lower = Array.make n 0 and upper = Array.make n 1 in
+        for _ = 1 to 45 do
+          let v = Random.State.int rng n in
+          (match Random.State.int rng 3 with
+          | 0 ->
+              lower.(v) <- 0;
+              upper.(v) <- 0
+          | 1 ->
+              lower.(v) <- 1;
+              upper.(v) <- 1
+          | _ ->
+              lower.(v) <- 0;
+              upper.(v) <- 1);
+          Ilp.Simplex.set_bounds inst v ~lo:(float_of_int lower.(v))
+            ~up:(float_of_int upper.(v));
+          incr resolves;
+          let warm = Ilp.Simplex.resolve inst in
+          let cold = Ilp.Simplex.relax ~lower ~upper m in
+          match (warm, cold) with
+          | Ilp.Simplex.Optimal a, Ilp.Simplex.Optimal b ->
+              Alcotest.(check (float 1e-4))
+                (Printf.sprintf "objective (model %d, resolve %d)" !models
+                   !resolves)
+                b.objective a.objective
+          | Ilp.Simplex.Infeasible, Ilp.Simplex.Infeasible -> ()
+          | Ilp.Simplex.Iteration_limit, _ | _, Ilp.Simplex.Iteration_limit ->
+              () (* inconclusive; instance stays usable *)
+          | _ ->
+              Alcotest.failf "warm/cold status mismatch (model %d, resolve %d)"
+                !models !resolves
+        done
+  done;
+  check_bool "exercised >= 1000 warm resolves" true (!resolves >= 1000)
+
 (* -- Presolve ------------------------------------------------------------- *)
 
 let test_presolve_detects_infeasible () =
@@ -772,6 +921,7 @@ let () =
           Alcotest.test_case "relax knapsack" `Quick test_simplex_relax_knapsack;
           Alcotest.test_case "equalities only" `Quick test_simplex_equalities_only;
           Alcotest.test_case "no rows" `Quick test_simplex_no_rows;
+          Alcotest.test_case "warm = cold" `Quick test_warm_matches_cold;
         ] );
       ( "branch_bound",
         [
@@ -791,6 +941,9 @@ let () =
             prop_bb_matches_brute_force;
             prop_bb_without_lp_matches;
             prop_lp_is_lower_bound;
+            prop_node_lp_bound_sound;
+            prop_rc_fixing_preserves_optimum;
+            prop_root_cuts_preserve_feasible_set;
           ] );
       ( "lp_format",
         [
