@@ -21,9 +21,11 @@ bench-json:
 	ADVBIST_BENCH_BUDGET=2 ADVBIST_BENCH_JSON=$(CURDIR)/BENCH_solver.json \
 		dune exec bench/main.exe -- json
 
-# Fast gate for every change: build, unit tests, and a <30s bench smoke
-# that asserts the solver still proves tseng k=1 optimal at the 2 s
-# budget, so bounding-strength regressions fail CI immediately.
+# Fast gate for every change: build, unit tests, and a bench smoke that
+# asserts the solver still proves tseng k=1 optimal at the 2 s budget and
+# that no (circuit, k) row's design area regressed vs the committed
+# BENCH_solver.json, so bounding-strength and warm-start regressions fail
+# CI immediately (~1 min: it re-runs every committed sweep at 2 s/ILP).
 ci: build test
 	ADVBIST_BENCH_BUDGET=2 dune exec bench/main.exe -- smoke
 

@@ -8,9 +8,10 @@
 
    The ILP budget per instance defaults to 10 s (the paper allowed 24 CPU
    hours per instance on CPLEX 6.0); override with ADVBIST_BENCH_BUDGET
-   (seconds).  ADVBIST_JOBS > 1 farms independent per-k ILPs out to a
-   domain pool.  Timed-out entries are marked with '*', exactly like the
-   paper's Table 2. *)
+   (seconds).  ADVBIST_JOBS > 1 runs each solve's tree search on that many
+   work-stealing domains (the k-sweep itself is sequential so each row can
+   seed the next).  Timed-out entries are marked with '*', exactly like
+   the paper's Table 2. *)
 
 let budget =
   match Sys.getenv_opt "ADVBIST_BENCH_BUDGET" with
@@ -365,11 +366,57 @@ let git_commit () =
     | _ -> "unknown"
   with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
+(* Working-tree entries from `git status --porcelain`, minus the snapshot
+   file itself (regenerating it is the whole point of the run). *)
+let dirty_entries ~ignore_path =
+  try
+    let ic = Unix.open_process_in "git status --porcelain 2>/dev/null" in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 ->
+        List.rev
+          (List.filter
+             (fun line ->
+               String.length line > 3
+               &&
+               let path = String.sub line 3 (String.length line - 3) in
+               path <> ignore_path)
+             !lines)
+    | _ -> []
+  with Unix.Unix_error _ | Sys_error _ -> []
+
 let bench_json () =
   let path =
     Option.value (Sys.getenv_opt "ADVBIST_BENCH_JSON")
       ~default:"BENCH_solver.json"
   in
+  (* The snapshot stamps HEAD as the commit its numbers belong to; on a
+     dirty tree that attribution would be a lie, so refuse to run unless
+     explicitly overridden. *)
+  let snapshot_rel = Filename.basename path in
+  (match dirty_entries ~ignore_path:snapshot_rel with
+  | [] -> ()
+  | entries when Sys.getenv_opt "ADVBIST_BENCH_ALLOW_DIRTY" = Some "1" ->
+      Printf.eprintf
+        "json: WARNING: dirty tree (%d entries); commit stamp %s is not \
+         trustworthy\n%!"
+        (List.length entries) (git_commit ())
+  | entries ->
+      Printf.eprintf
+        "json: refusing to run on a dirty tree — the snapshot would stamp \
+         commit %s for results it was not produced by.\n\
+         Uncommitted changes:\n"
+        (git_commit ());
+      List.iter (fun l -> Printf.eprintf "  %s\n" l) entries;
+      Printf.eprintf
+        "Commit (or stash) first, or set ADVBIST_BENCH_ALLOW_DIRTY=1 to \
+         override.\n%!";
+      exit 1);
   let buf = Buffer.create 4096 in
   let started = Unix.gettimeofday () in
   Buffer.add_string buf "{\n";
@@ -424,11 +471,67 @@ let bench_json () =
   close_out oc;
   Printf.printf "json: wrote %s\n" path
 
+(* Minimal reader for the snapshot this harness itself writes: the
+   (circuit, k, area) triples, in file order.  Relies on the fixed key
+   order bench_json emits ("circuit" opens a block, "k" precedes "area"
+   within a row) — not a general JSON parser. *)
+let parse_bench_areas path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let len = String.length s in
+  let starts_with p i =
+    i + String.length p <= len && String.sub s i (String.length p) = p
+  in
+  let int_after i =
+    let j = ref i in
+    while !j < len && s.[!j] = ' ' do
+      incr j
+    done;
+    let start = !j in
+    while
+      !j < len && (match s.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr j
+    done;
+    (int_of_string (String.sub s start (!j - start)), !j)
+  in
+  let rows = ref [] in
+  let circuit = ref "" in
+  let last_k = ref 0 in
+  let i = ref 0 in
+  while !i < len do
+    if starts_with "\"circuit\": \"" !i then begin
+      let start = !i + 12 in
+      let j = ref start in
+      while !j < len && s.[!j] <> '"' do
+        incr j
+      done;
+      circuit := String.sub s start (!j - start);
+      i := !j
+    end
+    else if starts_with "\"k\": " !i then begin
+      let v, j = int_after (!i + 5) in
+      last_k := v;
+      i := j
+    end
+    else if starts_with "\"area\": " !i then begin
+      let v, j = int_after (!i + 8) in
+      rows := (!circuit, !last_k, v) :: !rows;
+      i := j
+    end
+    else incr i
+  done;
+  List.rev !rows
+
 (* CI smoke: the canonical provable instance (tseng k=1) must still prove
-   optimality inside the budget.  Exit status 1 on any regression, so a
-   bounding-strength regression fails `make ci` fast. *)
+   optimality inside the budget, and no (circuit, k) row may produce a
+   worse design area than the committed BENCH_solver.json snapshot.  Exit
+   status 1 on any regression, so a bounding-strength or warm-start
+   regression fails `make ci` fast. *)
 let smoke () =
-  match Circuits.Suite.find "tseng" with
+  let failures = ref 0 in
+  (match Circuits.Suite.find "tseng" with
   | None ->
       prerr_endline "smoke: tseng circuit missing";
       exit 1
@@ -444,8 +547,58 @@ let smoke () =
             o.Advbist.Synth.solve_time;
           if not o.Advbist.Synth.optimal then begin
             prerr_endline "smoke: FAILED - optimality not proven within budget";
-            exit 1
-          end)
+            incr failures
+          end));
+  (* per-row area regression gate vs the committed snapshot *)
+  let snapshot = "BENCH_solver.json" in
+  if not (Sys.file_exists snapshot) then
+    Printf.printf "smoke: no %s; skipping area-regression gate\n" snapshot
+  else begin
+    let committed = parse_bench_areas snapshot in
+    let by_circuit = Hashtbl.create 8 in
+    List.iter
+      (fun (c, k, area) ->
+        let rows = try Hashtbl.find by_circuit c with Not_found -> [] in
+        Hashtbl.replace by_circuit c ((k, area) :: rows))
+      committed;
+    List.iter
+      (fun (name, p) ->
+        match Hashtbl.find_opt by_circuit name with
+        | None -> ()
+        | Some rows -> (
+            match Advbist.Synth.sweep ~time_limit:budget ~jobs p with
+            | Error msg ->
+                Printf.eprintf "smoke: %s sweep failed: %s\n" name msg;
+                incr failures
+            | Ok (_, current) ->
+                List.iter
+                  (fun (k, committed_area) ->
+                    match
+                      List.find_opt
+                        (fun (r : Advbist.Synth.sweep_row) -> r.Advbist.Synth.k = k)
+                        current
+                    with
+                    | None ->
+                        Printf.eprintf "smoke: %s k=%d row disappeared\n" name k;
+                        incr failures
+                    | Some r ->
+                        let area =
+                          r.Advbist.Synth.outcome.Advbist.Synth.area
+                        in
+                        if area > committed_area then begin
+                          Printf.eprintf
+                            "smoke: AREA REGRESSION %s k=%d: %d > committed %d\n"
+                            name k area committed_area;
+                          incr failures
+                        end)
+                  rows;
+                Printf.printf "smoke: %s areas no worse than snapshot\n%!" name))
+      Circuits.Suite.all
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "smoke: FAILED (%d regression(s))\n" !failures;
+    exit 1
+  end
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

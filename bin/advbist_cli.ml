@@ -75,8 +75,27 @@ let jobs_arg =
     & opt int (Ilp.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Solve independent ILPs on N parallel domains (default: \
-           \\$(b,ADVBIST_JOBS) from the environment, else 1).")
+          "Worker domains for the work-stealing parallel tree search \
+           (default: \\$(b,ADVBIST_JOBS) from the environment, else 1).")
+
+let sym_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "sym" ] ~docv:"on|off"
+        ~doc:
+          "Orbit-based symmetry breaking in the solver (lexicographic \
+           ordering rows + orbital fixing).  Default: on.")
+
+let steal_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "steal" ] ~docv:"on|off"
+        ~doc:
+          "With -j >= 2, split each solve into open subtrees on a \
+           work-stealing domain pool (deterministic across -j).  \
+           Default: on.")
 
 let portfolio_arg =
   Arg.(
@@ -192,7 +211,7 @@ let ref_cmd =
 (* -- synth --------------------------------------------------------------- *)
 
 let synth_cmd =
-  let run circuit file time_limit k meth verilog lp portfolio =
+  let run circuit file time_limit k meth verilog lp portfolio jobs sym steal =
     let p = or_die (load ~circuit ~file) in
     let k = Option.value k ~default:(Dfg.Problem.n_modules p) in
     Option.iter
@@ -205,10 +224,17 @@ let synth_cmd =
       match meth with
       | `Advbist ->
           let o =
-            or_die (Advbist.Synth.synthesize ~time_limit ~portfolio p ~k)
+            or_die
+              (Advbist.Synth.synthesize ~time_limit ~portfolio ~jobs ~sym
+                 ~steal p ~k)
           in
           ( o.Advbist.Synth.plan,
-            if o.Advbist.Synth.optimal then "optimal" else "time limit *" )
+            if o.Advbist.Synth.optimal then "optimal"
+            else
+              Printf.sprintf
+                "time limit *; gap %.1f%%, %d orbits, %d stolen subtrees"
+                o.Advbist.Synth.gap_pct o.Advbist.Synth.orbits
+                o.Advbist.Synth.stolen )
       | `Advan -> (or_die (Baselines.Advan.synthesize p ~k), "heuristic")
       | `Ralloc -> (or_die (Baselines.Ralloc.synthesize p ~k), "heuristic")
       | `Bits -> (or_die (Baselines.Bits.synthesize p ~k), "heuristic")
@@ -229,16 +255,26 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a built-in self-testable data path.")
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ k_arg $ method_arg
-      $ verilog_arg $ lp_arg $ portfolio_arg)
+      $ verilog_arg $ lp_arg $ portfolio_arg $ jobs_arg $ sym_arg $ steal_arg)
 
 (* -- sweep --------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run circuit file time_limit fmt jobs =
+  let run circuit file time_limit fmt jobs sym steal =
     let p = or_die (load ~circuit ~file) in
-    let reference, rows = or_die (Advbist.Synth.sweep ~time_limit ~jobs p) in
+    let reference, rows =
+      or_die (Advbist.Synth.sweep ~time_limit ~jobs ~sym ~steal p)
+    in
     Format.printf "reference area %d%s@." reference.Advbist.Synth.ref_area
       (if reference.Advbist.Synth.ref_optimal then "" else " *");
+    List.iter
+      (fun { Advbist.Synth.k; outcome = o; _ } ->
+        if not o.Advbist.Synth.optimal then
+          Format.printf
+            "k=%d: limit hit; gap %.1f%%, %d orbits, %d stolen subtrees@." k
+            o.Advbist.Synth.gap_pct o.Advbist.Synth.orbits
+            o.Advbist.Synth.stolen)
+      rows;
     print_string
       (Advbist.Report.render_sweep fmt (Advbist.Report.sweep_points rows))
   in
@@ -247,7 +283,7 @@ let sweep_cmd =
        ~doc:"Synthesize one ADVBIST design per k-test session (Table 2).")
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ format_arg
-      $ jobs_arg)
+      $ jobs_arg $ sym_arg $ steal_arg)
 
 (* -- compare ------------------------------------------------------------- *)
 

@@ -39,6 +39,33 @@ let cuts_arg =
           "Root cut loop (lifted cover + clique cuts appended before \
            branching).  Default: on.")
 
+let sym_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "sym" ] ~docv:"on|off"
+        ~doc:
+          "Symmetry breaking: detect interchangeable-variable orbits, add \
+           lexicographic ordering rows at the root and fix orbits during \
+           search.  Default: on.")
+
+let steal_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "steal" ] ~docv:"on|off"
+        ~doc:
+          "With -j >= 2, split the tree into open subtrees and solve them \
+           on a work-stealing domain pool (deterministic: any -j returns \
+           the same objective and solution).  Default: on.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the parallel tree search (with --steal on).")
+
 let load path =
   match Ilp.Lp_parse.of_file path with
   | Ok p -> p
@@ -47,11 +74,11 @@ let load path =
       exit 1
 
 let solve_cmd =
-  let run path time_limit verbose portfolio cuts =
+  let run path time_limit verbose portfolio cuts sym steal jobs =
     let { Ilp.Lp_parse.model; negated } = load path in
     Printf.printf "%s\n" (Ilp.Model.stats model);
     let options =
-      { Ilp.Solver.default with Ilp.Solver.time_limit; verbose; cuts }
+      { Ilp.Solver.default with Ilp.Solver.time_limit; verbose; cuts; sym }
     in
     let r =
       if portfolio then begin
@@ -63,9 +90,16 @@ let solve_cmd =
         Printf.printf "portfolio: config %d decided the race\n" winner;
         outcome
       end
+      else if jobs >= 2 && steal then
+        Ilp.Solver.solve_parallel ~options ~jobs model
       else Ilp.Solver.solve ~options model
     in
     let sign v = if negated then -v else v in
+    let limit_detail () =
+      (* On a limit hit, report how much structure the search exploited. *)
+      Printf.printf "orbits: %d\nstolen: %d\n" r.Ilp.Solver.orbits
+        r.Ilp.Solver.stolen
+    in
     (match r.Ilp.Solver.status with
     | Ilp.Solver.Optimal ->
         Printf.printf "status: optimal\nobjective: %d\n"
@@ -80,12 +114,14 @@ let solve_cmd =
           Printf.printf "gap: %.2f%%\n"
             (100.0
             *. float_of_int (obj - r.Ilp.Solver.bound)
-            /. float_of_int (max 1 (abs obj)))
+            /. float_of_int (max 1 (abs obj)));
+        limit_detail ()
     | Ilp.Solver.Infeasible -> Printf.printf "status: infeasible\n"
     | Ilp.Solver.Unknown ->
         Printf.printf "status: unknown (limit hit)\n";
         if r.Ilp.Solver.bound > min_int then
-          Printf.printf "bound: %d\n" (sign r.Ilp.Solver.bound));
+          Printf.printf "bound: %d\n" (sign r.Ilp.Solver.bound);
+        limit_detail ());
     Printf.printf "nodes: %d\ntime: %.3fs\n" r.Ilp.Solver.nodes
       r.Ilp.Solver.time_s;
     match r.Ilp.Solver.solution with
@@ -99,7 +135,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve an integer program to optimality.")
     Term.(
       const run $ file_arg $ time_limit_arg $ verbose_arg $ portfolio_arg
-      $ cuts_arg)
+      $ cuts_arg $ sym_arg $ steal_arg $ jobs_arg)
 
 let relax_cmd =
   let run path =

@@ -622,6 +622,294 @@ let branch_order e =
     e.t_rmlp;
   List.rev !order
 
+(* --- symmetry orbits ----------------------------------------------------
+
+   Structural interchangeability candidates, each proven exact by
+   {!Ilp.Symmetry.filter_verified} before use:
+
+   - registers not pinned by the clique pre-assignment (every variable
+     family is register-saturated, so unpinned register indices are pure
+     labels);
+   - identical-kind module groups that [module_symmetry_fixing] could not
+     pin (no saturated step existed).  At k >= 2 the session
+     canonicalization rows couple module indices and the verifier rejects
+     these — the win is the reference and k = 1 models;
+   - sub-test sessions when k >= 2 (only survive verification when the
+     encoding was built with [~symmetry:false], since the Section 3.5
+     canonicalization rows break this symmetry already).
+
+   Columns are collected by index token in the variable names ("_r<i>",
+   "_m<i>", "_p<i>"), which covers every register/module/session-indexed
+   family including the auxiliary support and mux-threshold variables; a
+   mis-grouped column cannot produce a wrong orbit, only a rejected one. *)
+
+let token_index ~prefix name =
+  let n = String.length name and pl = String.length prefix in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec find i =
+    if i + pl >= n then None
+    else if String.sub name i pl = prefix && is_digit name.[i + pl] then begin
+      let j = ref (i + pl) in
+      while !j < n && is_digit name.[!j] do
+        incr j
+      done;
+      let idx = int_of_string (String.sub name (i + pl) (!j - i - pl)) in
+      let masked =
+        String.sub name 0 (i + pl) ^ "#" ^ String.sub name !j (n - !j)
+      in
+      Some (idx, masked)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* One Blocks candidate from the variables carrying [prefix]-indexed names,
+   restricted to [members]; columns are aligned by masked name and must
+   align exactly or the candidate is discarded. *)
+let block_candidate model ~prefix members =
+  if List.length members < 2 then []
+  else begin
+    let tbl = Hashtbl.create 97 in
+    let n = Ilp.Model.n_vars model in
+    for v = 0 to n - 1 do
+      match token_index ~prefix (Ilp.Model.var_name model v) with
+      | Some (idx, masked) when List.mem idx members ->
+          Hashtbl.replace tbl idx
+            ((masked, v)
+            ::
+            (match Hashtbl.find_opt tbl idx with Some l -> l | None -> []))
+      | Some _ | None -> ()
+    done;
+    let cols =
+      List.map
+        (fun idx ->
+          List.sort compare
+            (match Hashtbl.find_opt tbl idx with Some l -> l | None -> []))
+        members
+    in
+    match cols with
+    | first :: rest when first <> [] ->
+        let keys c = List.map fst c in
+        let k0 = keys first in
+        if List.for_all (fun c -> keys c = k0) rest then
+          [
+            Ilp.Symmetry.Blocks
+              (Array.of_list
+                 (List.map
+                    (fun c -> Array.of_list (List.map snd c))
+                    cols));
+          ]
+        else []
+    | _ -> []
+  end
+
+let orbits e =
+  let m = e.model in
+  let pinned_to_one v =
+    let lb, _ = Ilp.Model.bounds m v in
+    lb >= 1
+  in
+  (* registers not pinned by the clique pre-assignment *)
+  let free_regs =
+    List.filter
+      (fun r -> not (Array.exists (fun row -> pinned_to_one row.(r)) e.x_vr))
+      (List.init e.n_regs Fun.id)
+  in
+  let reg_cands = block_candidate m ~prefix:"_r" free_regs in
+  (* identical-kind module groups not pinned by module_symmetry_fixing *)
+  let groups = Hashtbl.create 7 in
+  Array.iteri
+    (fun md fu ->
+      let key = fu.Dfg.Fu_kind.fu_name in
+      Hashtbl.replace groups key
+        (match Hashtbl.find_opt groups key with
+        | Some ms -> ms @ [ md ]
+        | None -> [ md ]))
+    e.problem.Dfg.Problem.modules;
+  let mod_cands =
+    Hashtbl.fold
+      (fun _ ms acc ->
+        let free =
+          List.filter
+            (fun md ->
+              not
+                (Array.exists
+                   (fun row -> row.(md) >= 0 && pinned_to_one row.(md))
+                   e.x_om))
+            ms
+        in
+        block_candidate m ~prefix:"_m" free @ acc)
+      groups []
+  in
+  (* sub-test sessions (rejected by the verifier unless symmetry rows
+     were disabled at build time) *)
+  let ses_cands =
+    if e.k >= 2 then block_candidate m ~prefix:"_p" (List.init e.k Fun.id)
+    else []
+  in
+  Ilp.Symmetry.filter_verified m (reg_cands @ mod_cands @ ses_cands)
+
+(* --- structural dual bound -----------------------------------------------
+
+   A combinatorial lower bound on the ILP objective, independent of the
+   LP relaxation (which is near-trivial on these encodings: the fractional
+   optimum spreads mux thresholds and register upgrades to almost zero).
+   Three additive components, each over disjoint objective terms:
+
+   1. Register upgrades.  Every module is tested in exactly one of the k
+      sub-test sessions (Eq. 7) and an SR serves one module per session
+      (Eq. 8), so at least ceil(n_mod / k) registers carry the SR upgrade.
+      Every input port needs a TPG (Eq. 10) and one register cannot drive
+      both ports of a module (Eq. 13), so at least max-port-count
+      registers carry the TPG upgrade; a register holding both roles
+      needs the CBILBO upgrade when the roles meet in one session (Eq. 21
+      — forced at k = 1) or at least the BILBO upgrade otherwise
+      (Eq. 17), both of which cost more than the two roles separately.
+
+   2. Module-port muxes.  Operand variables of the operations bound to a
+      module cluster that are simultaneously alive must sit in distinct
+      registers, each a distinct wire into the cluster's input ports
+      (Eq. 13 keeps the two ports of one module register-disjoint, so
+      counting over both ports jointly stays valid under commutative
+      operand swapping); every distinct constant value adds a dedicated
+      generator wire (cz).  Each port also needs at least one wire for
+      its TPG (Eq. 9) — a port with no register wire pays the dedicated
+      constant generator instead, which costs more than any mux step.
+      The cheapest spread of those forced wires over the cluster's port
+      sites is an exact small DP over the concave-ish mux cost table.
+
+   3. Register-input muxes.  Each module needs at least one result wire
+      into a register (Eq. 6: its SR sits behind such a wire), results of
+      one cluster that are simultaneously alive need distinct registers,
+      and registers holding primary inputs carry the input wire.  The
+      cheapest spread of those wires over the n_regs register-input sites
+      bounds the z_out/inp mux cost.
+
+   Sound by construction: every count is forced in any feasible solution,
+   and the DP picks the cheapest arrangement consistent with the counts. *)
+
+(* Cheapest total mux cost of [slots] mux sites absorbing at least [total]
+   wires, each site taking at least [lo]. *)
+let mux_spread_min ?(lo = 1) ~slots total =
+  if slots <= 0 then 0
+  else begin
+    let total = max total (lo * slots) in
+    let dp = Array.make_matrix (slots + 1) (total + 1) max_int in
+    dp.(0).(0) <- 0;
+    for i = 1 to slots do
+      for n = 0 to total do
+        for take = lo to n do
+          if dp.(i - 1).(n - take) < max_int then
+            dp.(i).(n) <-
+              min dp.(i).(n) (dp.(i - 1).(n - take) + Datapath.Area.mux take)
+        done
+      done
+    done;
+    dp.(slots).(total)
+  end
+
+let objective_lower_bound e =
+  let p = e.problem in
+  let g = p.Dfg.Problem.dfg in
+  let lt = Dfg.Lifetime.compute g in
+  let n_mod = Dfg.Problem.n_modules p in
+  let n_regs = e.n_regs in
+  let nb = Dfg.Graph.n_boundaries g in
+  (* exact max clique of the (closed-interval) lifetime conflict graph
+     restricted to [vs]: the peak number simultaneously alive *)
+  let clique vs =
+    let best = ref 0 in
+    for t = 0 to nb - 1 do
+      let c =
+        List.fold_left
+          (fun acc v -> if Dfg.Lifetime.alive_at lt v t then acc + 1 else acc)
+          0 vs
+      in
+      if c > !best then best := c
+    done;
+    !best
+  in
+  (* modules sharing any operation candidate merge into one cluster, so no
+     port site is ever counted for two operation groups *)
+  let parent = Array.init n_mod Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let n_ops = Dfg.Graph.n_ops g in
+  for o = 0 to n_ops - 1 do
+    match Dfg.Problem.candidates p o with
+    | [] -> ()
+    | m0 :: rest -> List.iter (fun md -> union m0 md) rest
+  done;
+  let cluster_mods = Hashtbl.create 7 in
+  for md = 0 to n_mod - 1 do
+    let r = find md in
+    Hashtbl.replace cluster_mods r
+      (md
+      :: (match Hashtbl.find_opt cluster_mods r with Some l -> l | None -> []))
+  done;
+  let cluster_ops = Hashtbl.create 7 in
+  for o = 0 to n_ops - 1 do
+    match Dfg.Problem.candidates p o with
+    | [] -> ()
+    | m0 :: _ ->
+        let r = find m0 in
+        Hashtbl.replace cluster_ops r
+          (o
+          :: (match Hashtbl.find_opt cluster_ops r with
+             | Some l -> l
+             | None -> []))
+  done;
+  let max_ports = ref 1 in
+  let port_mux = ref 0 and result_wires = ref 0 in
+  Hashtbl.iter
+    (fun root mods ->
+      let ops =
+        match Hashtbl.find_opt cluster_ops root with Some l -> l | None -> []
+      in
+      let operand_vars = ref [] and consts = ref [] and results = ref [] in
+      let ports = ref 1 in
+      List.iter
+        (fun o ->
+          let op = Dfg.Graph.operation g o in
+          let ar = Array.length op.Dfg.Graph.inputs in
+          if ar > !ports then ports := ar;
+          results := op.Dfg.Graph.output :: !results;
+          Array.iter
+            (function
+              | Dfg.Graph.Var v ->
+                  if not (List.mem v !operand_vars) then
+                    operand_vars := v :: !operand_vars
+              | Dfg.Graph.Const c ->
+                  if not (List.mem c !consts) then consts := c :: !consts)
+            op.Dfg.Graph.inputs)
+        ops;
+      if !ports > !max_ports then max_ports := !ports;
+      let c = List.length mods in
+      let forced = clique !operand_vars + List.length !consts in
+      port_mux := !port_mux + mux_spread_min ~slots:(!ports * c) forced;
+      result_wires := !result_wires + max c (clique !results))
+    cluster_mods;
+  (* register-input sites: module result wires plus primary-input loads *)
+  let pi_regs = clique (Dfg.Graph.primary_inputs g) in
+  let reg_mux = mux_spread_min ~lo:0 ~slots:n_regs (!result_wires + pi_regs) in
+  (* BIST register upgrades *)
+  let plain = Datapath.Area.register Datapath.Area.Plain in
+  let d_tpg = Datapath.Area.register Datapath.Area.Tpg - plain in
+  let d_sr = Datapath.Area.register Datapath.Area.Sr - plain in
+  let d_bilbo = Datapath.Area.register Datapath.Area.Bilbo - plain in
+  let d_cbilbo = Datapath.Area.register Datapath.Area.Cbilbo - plain in
+  let srs = (n_mod + e.k - 1) / e.k in
+  let tpgs = !max_ports in
+  let merged = max 0 (min (min srs tpgs) (srs + tpgs - n_regs)) in
+  let d_merge = if e.k = 1 then d_cbilbo else d_bilbo in
+  let upgrades =
+    (srs * d_sr) + (tpgs * d_tpg) + (merged * (d_merge - d_sr - d_tpg))
+  in
+  upgrades + !port_mux + reg_mux
+
 let decode e x =
   let p = e.problem in
   let g = p.Dfg.Problem.dfg in

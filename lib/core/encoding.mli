@@ -70,6 +70,31 @@ val branch_order : t -> int list
 (** Decision variables in a good branching order: register assignment,
     module binding, swaps, then session structure. *)
 
+val orbits : t -> Ilp.Symmetry.orbit list
+(** Exactly-verified variable-interchangeability orbits of the model, for
+    {!Ilp.Solver.options.orbits}: registers left unpinned by the clique
+    pre-assignment, identical-kind module groups the saturated-step fixing
+    could not pin, and (when the Section 3.5 canonicalization rows were
+    disabled) interchangeable sub-test sessions.  Every candidate passes
+    {!Ilp.Symmetry.filter_verified}, so the list is safe to hand to the
+    solver as-is; it is empty whenever the existing in-model symmetry
+    reductions already pinned everything. *)
+
+val objective_lower_bound : t -> int
+(** A structural (combinatorial) lower bound on the model objective, on the
+    same scale as {!Ilp.Model.objective_value} (add {!base_area} for the
+    design-area scale).  Valid for every feasible solution of the encoding;
+    computed from counts the formulation forces outright — SR registers
+    (Eqs. 7-8: at least [ceil n_mod/k]), TPG registers (Eqs. 10 and 13: at
+    least the maximum port count), BILBO/CBILBO upgrades when those roles
+    must share registers (Eqs. 17/21), mux wires forced by
+    simultaneously-alive operand/result variables and by distinct constant
+    values, and the input wires of primary-input registers — combined with
+    an exact DP for the cheapest spread of forced wires over mux sites.
+    The LP relaxation of these encodings is near-trivial (it spreads
+    thresholds fractionally), so this bound is what makes the reported
+    optimality gap meaningful on instances the search cannot close. *)
+
 val decode :
   t -> int array ->
   (Datapath.Netlist.t * Bist.Plan.t option, string) result

@@ -5,6 +5,8 @@ type outcome = {
   solve_time : float;
   nodes : int;
   gap_pct : float;
+  orbits : int;
+  stolen : int;
 }
 
 type reference = {
@@ -16,15 +18,26 @@ type reference = {
 
 let ( let* ) r f = Result.bind r f
 
-(* Incumbent-vs-bound gap in percent of the incumbent objective; 0 for a
-   proven optimum, 100 when the search never produced a usable bound. *)
-let gap_pct (r : Ilp.Solver.outcome) =
-  match (r.Ilp.Solver.status, r.Ilp.Solver.objective) with
-  | Ilp.Solver.Optimal, _ -> 0.0
-  | _, Some obj when r.Ilp.Solver.bound > min_int ->
-      let gap = float_of_int (obj - r.Ilp.Solver.bound) in
-      Float.max 0.0 (100.0 *. gap /. float_of_int (max 1 (abs obj)))
-  | _ -> 100.0
+(* Incumbent-vs-bound gap in percent of the incumbent design area; 0 for a
+   proven optimum, 100 when no usable bound exists.  The dual bound is the
+   better of the solver's search bound and the encoding's structural bound
+   ({!Encoding.objective_lower_bound}), both lifted to the design-area
+   scale by [base_area] — the provably-constant plain-register part of
+   every design's area, which belongs in an area-gap on both sides. *)
+let gap_pct ~lower_bound ~base_area ~area (r : Ilp.Solver.outcome) =
+  match r.Ilp.Solver.status with
+  | Ilp.Solver.Optimal -> 0.0
+  | _ ->
+      let bound =
+        if r.Ilp.Solver.bound > min_int then max r.Ilp.Solver.bound lower_bound
+        else lower_bound
+      in
+      let bound_area = bound + base_area in
+      if area <= 0 || bound_area <= 0 then 100.0
+      else
+        Float.min 100.0
+          (Float.max 0.0
+             (100.0 *. float_of_int (area - bound_area) /. float_of_int area))
 
 (* Permute a netlist's register names so that the encoding's symmetry
    pre-fixing (max clique member i in register i) is satisfied; without
@@ -60,7 +73,7 @@ let lp_mode model =
   if Ilp.Model.n_constraints model <= 1500 then Ilp.Solver.Lp_root
   else Ilp.Solver.Lp_never
 
-let solver_options ?time_limit ?node_limit encoding warm =
+let solver_options ?time_limit ?node_limit ~sym encoding warm =
   {
     Ilp.Solver.default with
     Ilp.Solver.time_limit;
@@ -76,28 +89,40 @@ let solver_options ?time_limit ?node_limit encoding warm =
     branch_order = Some (Encoding.branch_order encoding);
     warm_start = warm;
     prefer_high = false;
+    sym;
+    (* structural orbits the in-model reductions left unbroken; verified
+       exactly, so the solver takes them as-is (auto-detection then only
+       runs on models small enough for it) *)
+    orbits = (if sym then Encoding.orbits encoding else []);
   }
 
-(* One ILP solve, optionally as a portfolio race of diverse configurations
-   sharing an incumbent bound (first prover cancels the rest). *)
-let run_solver ~portfolio options model =
+(* One ILP solve: a portfolio race of diverse configurations sharing an
+   incumbent bound, a work-stealing parallel subtree search, or the plain
+   sequential branch-and-bound. *)
+let run_solver ~portfolio ~jobs ~steal options model =
   if portfolio then
     (Ilp.Portfolio.solve ~configs:(Ilp.Portfolio.default_configs options)
        model)
       .Ilp.Portfolio.outcome
+  else if jobs >= 2 && steal then
+    Ilp.Solver.solve_parallel ~options ~jobs model
   else Ilp.Solver.solve ~options model
 
 let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    (p : Dfg.Problem.t) =
+    ?(jobs = 1) ?(sym = true) ?(steal = true) (p : Dfg.Problem.t) =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build_reference ?symmetry p ~n_regs in
   let* d0 = Heuristic.netlist p in
   let* d0 = align_to_clique p d0 in
   let warm = Result.to_option (Encoding.vector_of_netlist e d0) in
-  let options = solver_options ?time_limit ?node_limit e warm in
+  let options = solver_options ?time_limit ?node_limit ~sym e warm in
   (* presolve keeps variable indices, so decoding solutions still works *)
   let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
-  let r = run_solver ~portfolio options model in
+  (* LP bounding is sized on the model the solver actually sees: presolve
+     typically halves the row count, pulling mid-size encodings under the
+     basis-inverse budget. *)
+  let options = { options with Ilp.Solver.lp = lp_mode model } in
+  let r = run_solver ~portfolio ~jobs ~steal options model in
   match r.Ilp.Solver.solution with
   | None -> Error "reference synthesis found no data path"
   | Some x ->
@@ -111,25 +136,47 @@ let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
         }
 
 let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    (p : Dfg.Problem.t) ~k =
+    ?(jobs = 1) ?(sym = true) ?(steal = true) ?seed (p : Dfg.Problem.t) ~k =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build ?symmetry p ~n_regs ~k in
-  let warm =
-    match Heuristic.netlist p with
+  (* Two warm-start candidates: the constructive heuristic's data path,
+     and the cross-k seed (the previous instance's data path, repaired
+     for this k by the exact session optimizer).  Both yield full plans;
+     the cheaper one that lifts to a feasible vector wins, so every
+     instance starts with a finite primal bound whenever either path
+     succeeds. *)
+  let plan_on netlist =
+    match align_to_clique p netlist with
     | Error _ -> None
-    | Ok d0 -> (
-        match align_to_clique p d0 with
+    | Ok d -> (
+        match Session_opt.solve d ~k with
         | Error _ -> None
-        | Ok d0 -> (
-            match Session_opt.solve d0 ~k with
-            | Error _ -> None
-            | Ok { Session_opt.plan; _ } ->
-                Result.to_option (Encoding.vector_of_plan e plan)))
+        | Ok { Session_opt.plan; _ } -> Some plan)
   in
-  let options = solver_options ?time_limit ?node_limit e warm in
+  let candidates =
+    List.filter_map Fun.id
+      [
+        (match Heuristic.netlist p with
+        | Error _ -> None
+        | Ok d0 -> plan_on d0);
+        Option.bind seed plan_on;
+      ]
+  in
+  let warm =
+    candidates
+    |> List.stable_sort (fun a b ->
+           compare (Bist.Plan.objective_cost a) (Bist.Plan.objective_cost b))
+    |> List.find_map (fun plan ->
+           Result.to_option (Encoding.vector_of_plan e plan))
+  in
+  let options = solver_options ?time_limit ?node_limit ~sym e warm in
   (* presolve keeps variable indices, so decoding solutions still works *)
   let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
-  let r = run_solver ~portfolio options model in
+  (* LP bounding is sized on the model the solver actually sees: presolve
+     typically halves the row count, pulling mid-size encodings under the
+     basis-inverse budget. *)
+  let options = { options with Ilp.Solver.lp = lp_mode model } in
+  let r = run_solver ~portfolio ~jobs ~steal options model in
   match r.Ilp.Solver.solution with
   | None ->
       Error
@@ -157,42 +204,47 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
                   plan'
               | Ok _ | Error _ -> plan
           in
+          let area = Bist.Plan.area plan in
           Ok
             {
               plan;
               optimal;
-              area = Bist.Plan.area plan;
+              area;
               solve_time = r.Ilp.Solver.time_s;
               nodes = r.Ilp.Solver.nodes;
-              gap_pct = gap_pct r;
+              gap_pct =
+                gap_pct
+                  ~lower_bound:(Encoding.objective_lower_bound e)
+                  ~base_area:e.Encoding.base_area ~area r;
+              orbits = r.Ilp.Solver.orbits;
+              stolen = r.Ilp.Solver.stolen;
             })
 
 type sweep_row = { k : int; outcome : outcome; overhead_pct : float }
 
-let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) p =
-  let* reference = reference ?time_limit ?node_limit ?symmetry p in
+let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
+    ?(steal = true) p =
+  let* reference =
+    reference ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal p
+  in
   let n = Dfg.Problem.n_modules p in
-  let ks = List.init n (fun i -> i + 1) in
-  (* The per-k ILPs are independent (each task builds its own encoding,
-     model and solver state), so the sweep farms them out to a domain
-     pool.  [jobs <= 1] is plain sequential iteration; results are
-     collected in k order either way, and the first error — in k order —
-     wins, matching the sequential short-circuit behaviour. *)
-  let solve_one k = synthesize ?time_limit ?node_limit ?symmetry p ~k in
-  let results =
-    if jobs <= 1 then List.map solve_one ks
-    else Ilp.Pool.map ~jobs solve_one ks
+  (* The sweep is sequential in k so each instance can be seeded with the
+     previous row's data path (repaired for k+1 sessions by the exact
+     session optimizer inside [synthesize]); the k = 1 row is seeded with
+     the area-optimal reference data path.  [jobs] domains instead
+     parallelize each individual solve's tree search. *)
+  let rec loop k seed acc =
+    if k > n then Ok (List.rev acc)
+    else
+      let* outcome =
+        synthesize ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal
+          ~seed p ~k
+      in
+      let overhead_pct =
+        Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area
+      in
+      loop (k + 1) outcome.plan.Bist.Plan.netlist
+        ({ k; outcome; overhead_pct } :: acc)
   in
-  let rec collect ks results acc =
-    match (ks, results) with
-    | [], [] -> Ok (List.rev acc)
-    | k :: ks, r :: results ->
-        let* outcome = r in
-        let overhead_pct =
-          Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area
-        in
-        collect ks results ({ k; outcome; overhead_pct } :: acc)
-    | _ -> assert false
-  in
-  let* rows = collect ks results [] in
+  let* rows = loop 1 reference.ref_netlist [] in
   Ok (reference, rows)

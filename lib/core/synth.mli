@@ -18,8 +18,12 @@ type outcome = {
   nodes : int;
   gap_pct : float;
       (** incumbent-vs-bound optimality gap, in percent of the incumbent
-          objective: [0] when proven optimal, [100] when the search
-          produced no useful lower bound *)
+          design area: [0] when proven optimal.  The dual bound is the
+          better of the solver's search bound and the structural bound
+          {!Encoding.objective_lower_bound}, lifted to the area scale by
+          {!Encoding.base_area} *)
+  orbits : int;  (** symmetry orbits the solver broke (orbital fixing) *)
+  stolen : int;  (** subtrees stolen across domains ([jobs >= 2] only) *)
 }
 
 type reference = {
@@ -31,20 +35,33 @@ type reference = {
 
 val reference :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
-  ?portfolio:bool -> Dfg.Problem.t ->
+  ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
+  Dfg.Problem.t ->
   (reference, string) result
 (** Area-optimal non-BIST data path (registers all plain + minimal mux
     area), warm-started from left-edge + greedy binding.  [portfolio]
     races diverse solver configurations on a domain pool
-    ({!Ilp.Portfolio}); default false. *)
+    ({!Ilp.Portfolio}); default false.  [sym] (default true) passes the
+    encoding's verified orbits to the solver for lex rows and orbital
+    fixing.  [jobs >= 2] with [steal] (default true) runs the
+    work-stealing parallel tree search ({!Ilp.Solver.solve_parallel})
+    unless [portfolio] is set. *)
 
 val synthesize :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
-  ?portfolio:bool -> Dfg.Problem.t -> k:int ->
+  ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
+  ?seed:Datapath.Netlist.t -> Dfg.Problem.t -> k:int ->
   (outcome, string) result
 (** [portfolio] races diverse solver configurations with a shared
     incumbent bound instead of one branch-and-bound run; same optima,
-    often less wall-clock on hard instances.  Default false. *)
+    often less wall-clock on hard instances.  Default false.
+
+    [sym], [jobs] and [steal] as in {!reference}.  [seed] is an extra
+    warm-start candidate: an already-synthesized data path (typically the
+    previous k's design, or the reference circuit) whose session
+    assignment is repaired for this [k] by {!Session_opt}; the cheaper of
+    it and the constructive heuristic's design becomes the initial
+    incumbent, so the solve starts with a finite primal bound. *)
 
 type sweep_row = {
   k : int;
@@ -54,14 +71,18 @@ type sweep_row = {
 
 val sweep :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool -> ?jobs:int ->
-  Dfg.Problem.t ->
+  ?sym:bool -> ?steal:bool -> Dfg.Problem.t ->
   (reference * sweep_row list, string) result
 (** One design per k-test session, k = 1 .. N (N = number of modules) —
     Table 2 of the paper.  [time_limit] and [node_limit] apply per k;
     node-limited runs are deterministic even under parallel load, where
-    wall-clock limits are not.  [jobs] (default 1)
-    farms the independent per-k ILPs out to that many domains
-    ({!Ilp.Pool}); the per-k results are identical to the sequential
-    path's whenever every solve finishes within its own budget, since
-    each task runs the very same single-threaded solver on its own
-    state. *)
+    wall-clock limits are not.
+
+    The rows are solved in k order so each instance is seeded with the
+    previous row's data path (k = 1 with the reference circuit), repaired
+    for its session count by the exact session optimizer — every row
+    starts from a finite incumbent.  [jobs] (default 1) therefore no
+    longer farms rows out; it parallelizes each individual solve's tree
+    search with work stealing ({!Ilp.Solver.solve_parallel}), which keeps
+    the node-limited results deterministic: any [jobs] returns the same
+    status, objective and solution. *)

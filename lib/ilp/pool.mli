@@ -47,6 +47,31 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     sequential path.  The first worker exception, if any, is re-raised
     after all tasks settle. *)
 
+(** Work-stealing deques for splitting one workload across the pool's
+    workers: one LIFO deque per owner.  Owners push and pop at the front
+    (depth-first locality); {!Deques.steal} removes from the back of
+    another owner's deque (the oldest — and for tree search the largest —
+    pending item).  Used by {!Solver.solve_parallel} to spread open
+    subtrees of a single hard instance across idle domains. *)
+module Deques : sig
+  type 'a t
+
+  val create : owners:int -> 'a t
+  (** [owners] deques (at least 1). *)
+
+  val owners : 'a t -> int
+
+  val push : 'a t -> owner:int -> 'a -> unit
+
+  val pop : 'a t -> owner:int -> 'a option
+  (** Newest element of the owner's own deque. *)
+
+  val steal : 'a t -> thief:int -> ('a * int) option
+  (** Oldest element of some other owner's non-empty deque (scanned
+      round-robin from [thief + 1]), with the victim's index.  [None] when
+      every other deque is empty. *)
+end
+
 val default_jobs : unit -> int
 (** Parallelism from the environment: [ADVBIST_JOBS] when set and positive,
     else 1 (sequential — the conservative default for reproducibility). *)

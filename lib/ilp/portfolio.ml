@@ -47,6 +47,16 @@ let combine ~shared_final outcomes =
   let member_bound =
     List.fold_left (fun acc o -> max acc o.Solver.bound) min_int outcomes
   in
+  let orbits =
+    List.fold_left
+      (fun acc (o : Solver.outcome) -> max acc o.Solver.orbits)
+      0 outcomes
+  in
+  let stolen =
+    List.fold_left
+      (fun acc (o : Solver.outcome) -> acc + o.Solver.stolen)
+      0 outcomes
+  in
   match !best with
   | Some (i, o, obj) ->
       if any_complete then
@@ -56,6 +66,8 @@ let combine ~shared_final outcomes =
             bound = obj;
             nodes = total_nodes;
             time_s = wall;
+            orbits;
+            stolen;
           },
           i )
       else
@@ -65,6 +77,8 @@ let combine ~shared_final outcomes =
             bound = min shared_final member_bound;
             nodes = total_nodes;
             time_s = wall;
+            orbits;
+            stolen;
           },
           i )
   | None ->
@@ -83,6 +97,8 @@ let combine ~shared_final outcomes =
             bound = max_int;
             nodes = total_nodes;
             time_s = wall;
+            orbits;
+            stolen;
           },
           winner )
       else
@@ -93,6 +109,8 @@ let combine ~shared_final outcomes =
             bound = min shared_final member_bound;
             nodes = total_nodes;
             time_s = wall;
+            orbits;
+            stolen;
           },
           winner )
 

@@ -7,6 +7,8 @@ type outcome = {
   bound : int;
   nodes : int;
   time_s : float;
+  orbits : int;
+  stolen : int;
 }
 
 type lp_mode = Lp_never | Lp_root | Lp_depth of int
@@ -23,6 +25,8 @@ type options = {
   branch_window : int;
   stop : bool Atomic.t option;
   shared_incumbent : int Atomic.t option;
+  sym : bool;
+  orbits : Symmetry.orbit list;
 }
 
 let default =
@@ -38,6 +42,8 @@ let default =
     branch_window = 16;
     stop = None;
     shared_incumbent = None;
+    sym = true;
+    orbits = [];
   }
 
 (* Internal row: `sum coefs.(i) * vars.(i) <= rhs`.  Eq model rows are
@@ -267,6 +273,73 @@ let propagate_row s (r : row) ~touch =
     true
   end
 
+(* --- orbital fixing ------------------------------------------------------
+
+   Enforce the canonical sorted-decreasing representative of every orbit in
+   [s.opts.orbits] on the current domains (see {!Symmetry}).  Scalar chains
+   propagate upper bounds forward and lower bounds backward; block orbits
+   run a bounded lex propagator on adjacent column pairs, advancing past
+   components the domains already force equal.  Sound because each orbit is
+   a true symmetry: restricting the search to canonical representatives
+   keeps at least one optimal solution, and the lex rows added at the root
+   commit the search to that representative anyway.  Returns [false] on a
+   canonical-order conflict. *)
+let orbit_pass s ~touch =
+  let ok = ref true in
+  (* enforce value(a) >= value(b); after the ub clamp lb(b) <= ub(a) always
+     holds, so the lb raise below can never cross *)
+  let ge a b =
+    if s.ub.(b) > s.ub.(a) then begin
+      if s.ub.(a) < s.lb.(b) then ok := false
+      else begin
+        set_ub s b s.ub.(a);
+        touch b
+      end
+    end;
+    if !ok && s.lb.(a) < s.lb.(b) then begin
+      set_lb s a s.lb.(b);
+      touch a
+    end
+  in
+  List.iter
+    (fun orbit ->
+      if !ok then
+        match orbit with
+        | Symmetry.Scalar vs ->
+            let m = Array.length vs in
+            s.ticks <- s.ticks + 1;
+            for i = 0 to m - 2 do
+              if !ok then ge vs.(i) vs.(i + 1)
+            done;
+            for i = m - 2 downto 0 do
+              if !ok then ge vs.(i) vs.(i + 1)
+            done
+        | Symmetry.Blocks cols ->
+            let nc = Array.length cols in
+            let len = if nc = 0 then 0 else Array.length cols.(0) in
+            for j = 0 to nc - 2 do
+              if !ok then begin
+                s.ticks <- s.ticks + 1;
+                let a = cols.(j) and b = cols.(j + 1) in
+                let i = ref 0 and go = ref true in
+                while !ok && !go && !i < len do
+                  let u = a.(!i) and v = b.(!i) in
+                  ge u v;
+                  (* the component ordering is only implied while every
+                     earlier component pair is forced equal *)
+                  if
+                    !ok
+                    && s.lb.(u) = s.ub.(u)
+                    && s.lb.(v) = s.ub.(v)
+                    && s.lb.(u) = s.lb.(v)
+                  then incr i
+                  else go := false
+                done
+              end
+            done)
+    s.opts.orbits;
+  !ok
+
 (* Worklist propagation to fixpoint starting from the given variables (or
    all rows when [None]).  [budget] caps the number of row propagations:
    an exhausted budget stops early and reports [true] — sound for probing
@@ -324,6 +397,7 @@ let propagate ?(budget = max_int) s seeds =
     drain ();
     if !ok && !left > 0 then
       if not (obj_pass ()) then ok := false
+      else if s.opts.orbits <> [] && not (orbit_pass s ~touch) then ok := false
       else if not (Queue.is_empty pending) then fixpoint ()
   in
   fixpoint ();
@@ -763,19 +837,70 @@ let root_cut_loop ?deadline ~(options : options) model =
           (!rounds - 1);
       (!model, Some inst)
 
-let solve ?(options = default) model =
-  let started = now () in
-  (* Cut generation runs inside the solve budget; cap it at a quarter of
-     any time limit so branching always gets the lion's share. *)
-  let model, warm_inst =
-    if options.lp = Lp_never then (model, None)
-    else if options.cuts then
-      let deadline =
-        Option.map (fun tl -> started +. (0.25 *. tl)) options.time_limit
-      in
-      root_cut_loop ?deadline ~options model
-    else (model, Simplex.instance_of_model model)
+(* Decide the orbit list and canonical warm start for a solve.  Caller
+   orbits are trusted (they must already be verified, e.g. through
+   [Symmetry.filter_verified]); with none supplied, auto-detection runs —
+   [Symmetry.detect] bails out immediately on large models.  The warm
+   start is mapped to its canonical symmetric image so it satisfies the
+   lex rows; if the canonical image fails the model audit (a caller orbit
+   that is not a true symmetry), the orbits are dropped rather than the
+   warm start.  Returns the (possibly lex-augmented) model and patched
+   options. *)
+let prepare ~(options : options) model =
+  let orbits =
+    if not options.sym then []
+    else if options.orbits <> [] then options.orbits
+    else Symmetry.detect model
   in
+  (* Overlapping orbits (e.g. register and module columns sharing wire
+     variables): sorting one can disturb the other, so canonicalize to a
+     fixpoint — the alternating sort converges for commuting column
+     groups; a capped non-convergence just fails the check below and
+     drops the orbits. *)
+  let rec canon_fix orbits x fuel =
+    if fuel = 0 then x
+    else
+      let x' = Symmetry.canonicalize orbits x in
+      if x' = x then x else canon_fix orbits x' (fuel - 1)
+  in
+  let orbits, warm =
+    match options.warm_start with
+    | None -> (orbits, None)
+    | Some x when orbits = [] -> ([], Some x)
+    | Some x ->
+        if Array.length x <> Model.n_vars model then (orbits, Some x)
+        else
+          let cx = canon_fix orbits x 50 in
+          if Model.check model cx = Ok () then (orbits, Some cx)
+          else if Model.check model x = Ok () then ([], Some x)
+          else (orbits, Some x)
+  in
+  (* Lex ordering rows only on cold solves: with a (canonicalized) warm
+     start the orbital-fixing propagator already enforces the canonical
+     representative during search, and the extra rows only feed the
+     conflict-activity branching heuristic noise — measured on tseng k=1,
+     lex rows on a warm solve double the node count (49788 vs 25505). *)
+  let model =
+    if orbits = [] || warm <> None then model
+    else fst (Symmetry.add_lex_rows model orbits)
+  in
+  (model, { options with warm_start = warm; orbits })
+
+(* Root cut loop under the solve's budget: cap cut generation at a quarter
+   of any time limit so branching always gets the lion's share. *)
+let cut_phase ~(options : options) ~started model =
+  if options.lp = Lp_never then (model, None)
+  else if options.cuts then
+    let deadline =
+      Option.map (fun tl -> started +. (0.25 *. tl)) options.time_limit
+    in
+    root_cut_loop ?deadline ~options model
+  else (model, Simplex.instance_of_model model)
+
+(* Build the full search state for [model]: normalized rows, occurrence
+   lists, incremental activities, the warm LP engine, and the warm-start
+   incumbent.  [model] must already carry its lex rows and cuts. *)
+let build_search ~(options : options) ~started model warm_inst =
   let n = Model.n_vars model in
   let lb = Array.make n 0 and ub = Array.make n 0 in
   for v = 0 to n - 1 do
@@ -931,6 +1056,13 @@ let solve ?(options = default) model =
       s.incumbent_obj <- obj;
       (match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ())
   | None -> ());
+  s
+
+let solve ?(options = default) model =
+  let started = now () in
+  let model, options = prepare ~options model in
+  let model, warm_inst = cut_phase ~options ~started model in
+  let s = build_search ~options ~started model warm_inst in
   let root_mark = ref 0 in
   let complete =
     try
@@ -946,6 +1078,7 @@ let solve ?(options = default) model =
   undo_to s !root_mark;
   let time_s = now () -. s.started in
   let trivial_bound = objective_min_activity s in
+  let orbits = List.length options.orbits in
   match (s.incumbent, complete) with
   | Some x, true ->
       {
@@ -955,6 +1088,8 @@ let solve ?(options = default) model =
         bound = s.incumbent_obj;
         nodes = s.nodes;
         time_s;
+        orbits;
+        stolen = 0;
       }
   | Some x, false ->
       {
@@ -964,6 +1099,8 @@ let solve ?(options = default) model =
         bound = max s.root_bound trivial_bound;
         nodes = s.nodes;
         time_s;
+        orbits;
+        stolen = 0;
       }
   | None, true ->
       {
@@ -973,6 +1110,8 @@ let solve ?(options = default) model =
         bound = max_int;
         nodes = s.nodes;
         time_s;
+        orbits;
+        stolen = 0;
       }
   | None, false ->
       {
@@ -982,7 +1121,369 @@ let solve ?(options = default) model =
         bound = max s.root_bound trivial_bound;
         nodes = s.nodes;
         time_s;
+        orbits;
+        stolen = 0;
       }
+
+(* --- parallel subtree search --------------------------------------------
+
+   One hard instance, several domains: the main domain runs the root phase
+   (propagation, probing, cuts) once, expands the root breadth-first into a
+   frontier of open subtrees — each a list of (var, lo, hi) bound
+   restrictions — and distributes them round-robin over per-worker
+   work-stealing deques.  Idle workers steal the oldest (largest) pending
+   subtree from a victim's deque.
+
+   Determinism is by subtree isolation.  Each subtree is solved from a
+   per-subtree reset of the worker's search state (activities, probe
+   state, row stamps, incumbent re-seeded from the deterministic root
+   phase, the simplex engine restored to its root basis), so its result
+   depends only on the subtree, never on the schedule.  The shared atomic
+   incumbent is consulted exactly once per subtree, to skip it wholesale:
+   an integer bound strictly above the shared objective proves the
+   subtree's own optimum is strictly worse than the final best, so the
+   skip can never discard a winner or even a tie.  The final solution is
+   the minimum over all subtree results (and the root-phase incumbent)
+   under the (objective, lexicographic solution) order — independent of
+   which worker finished first, so [~jobs:1] and [~jobs:4] return
+   identical outcomes. *)
+
+(* Per-subtree reset: everything schedule- or history-dependent goes back
+   to a canonical state derived from the deterministic root phase.  The
+   trail must already be rewound to the worker's root mark. *)
+let reset_for_subtree s ~seed =
+  Array.fill s.act 0 (Array.length s.act) 0.0;
+  s.act_inc <- 1.0;
+  s.probe_hit <- false;
+  s.probe_miss <- 0;
+  s.probe_skip <- 0;
+  Array.fill s.probe_stamp 0 (Array.length s.probe_stamp) 0;
+  s.change_gen <- 1;
+  Array.iter (fun r -> r.stamp <- 1) s.rows;
+  s.incumbent <- Option.map (fun (_, x) -> Array.copy x) seed;
+  s.incumbent_obj <- (match seed with Some (o, _) -> o | None -> max_int);
+  (match s.obj_row with
+  | Some r ->
+      r.stamp <- 1;
+      r.rhs <- (match seed with Some (o, _) -> o - 1 | None -> max_int / 2)
+  | None -> ());
+  match s.lp_st with
+  | Some st ->
+      ignore (Simplex.restore st.inst st.root_basis);
+      st.fails <- 0;
+      st.last_obj <- neg_infinity;
+      st.at_optimum <- false
+  | None -> ()
+
+(* Child decisions of branching on [v], in exactly the order [branch]
+   would explore them (warm-start hint first, then the preferred end). *)
+let child_paths s v =
+  let lo = s.lb.(v) and hi = s.ub.(v) in
+  if hi - lo <= 8 then begin
+    let all = List.init (hi - lo + 1) (fun i -> lo + i) in
+    let all = if s.opts.prefer_high then List.rev all else all in
+    let vals =
+      match s.value_hint with
+      | Some h when h.(v) >= lo && h.(v) <= hi ->
+          h.(v) :: List.filter (fun x -> x <> h.(v)) all
+      | Some _ | None -> all
+    in
+    List.map (fun value -> (v, value, value)) vals
+  end
+  else
+    let mid = lo + ((hi - lo) / 2) in
+    [ (v, lo, mid); (v, mid + 1, hi) ]
+
+(* Deterministic breadth-first expansion of the (already propagated) root
+   into at least [target] open subtrees, using the same branch-variable
+   and value ordering as the sequential search, so the frontier partitions
+   exactly the space [dfs] would explore.  Leaves reached during expansion
+   become incumbents of [s]; closed nodes vanish.  Returns the frontier
+   paths and whether a limit cut the expansion short. *)
+let expand_frontier s ~target =
+  let q = Queue.create () in
+  Queue.add [] q;
+  let expansions = ref 0 in
+  let aborted = ref false in
+  (try
+     while
+       (not (Queue.is_empty q))
+       && Queue.length q < target
+       && !expansions < 8 * target
+     do
+       incr expansions;
+       let path = Queue.take q in
+       let m = mark s in
+       List.iter
+         (fun (v, lo, hi) ->
+           set_lb s v lo;
+           set_ub s v hi)
+         path;
+       let seeds = List.map (fun (v, _, _) -> v) path in
+       if path = [] || propagate s (Some seeds) then begin
+         match pick_branch_var s with
+         | None -> record_incumbent s
+         | Some v ->
+             List.iter (fun d -> Queue.add (path @ [ d ]) q) (child_paths s v)
+       end;
+       undo_to s m
+     done
+   with Out_of_time -> aborted := true);
+  (List.of_seq (Queue.to_seq q), !aborted)
+
+let rec publish a obj =
+  let cur = Atomic.get a in
+  if obj < cur && not (Atomic.compare_and_set a cur obj) then publish a obj
+
+let solve_parallel ?(options = default) ~jobs model =
+  let jobs = max 1 (min jobs 64) in
+  let started = now () in
+  let model, options = prepare ~options model in
+  (* Strip a warm start that fails the audit here, once, so the per-subtree
+     reset can trust it unconditionally. *)
+  let options =
+    match options.warm_start with
+    | Some x
+      when Array.length x = Model.n_vars model && Model.check model x = Ok ()
+      ->
+        options
+    | Some _ -> { options with warm_start = None }
+    | None -> options
+  in
+  let model, warm_inst = cut_phase ~options ~started model in
+  (* Force the model's lazy caches before it crosses domains. *)
+  if Model.n_vars model > 0 then ignore (Model.bounds model 0);
+  let orbit_count = List.length options.orbits in
+  let finish ~complete ~stolen ~nodes ~bound best =
+    let time_s = now () -. started in
+    match (best, complete) with
+    | Some (obj, x), true ->
+        {
+          status = Optimal;
+          solution = Some x;
+          objective = Some obj;
+          bound = obj;
+          nodes;
+          time_s;
+          orbits = orbit_count;
+          stolen;
+        }
+    | Some (obj, x), false ->
+        {
+          status = Feasible;
+          solution = Some x;
+          objective = Some obj;
+          bound = min bound obj;
+          nodes;
+          time_s;
+          orbits = orbit_count;
+          stolen;
+        }
+    | None, true ->
+        {
+          status = Infeasible;
+          solution = None;
+          objective = None;
+          bound = max_int;
+          nodes;
+          time_s;
+          orbits = orbit_count;
+          stolen;
+        }
+    | None, false ->
+        {
+          status = Unknown;
+          solution = None;
+          objective = None;
+          bound;
+          nodes;
+          time_s;
+          orbits = orbit_count;
+          stolen;
+        }
+  in
+  let s0 = build_search ~options ~started model warm_inst in
+  let root_state =
+    try
+      if propagate s0 None && probe_fixpoint s0 ~max_passes:4 then `Open
+      else `Closed
+    with Out_of_time -> `Aborted
+  in
+  match root_state with
+  | `Closed | `Aborted ->
+      let complete = root_state = `Closed in
+      let best =
+        Option.map (fun x -> (s0.incumbent_obj, x)) s0.incumbent
+      in
+      finish ~complete ~stolen:0 ~nodes:s0.nodes
+        ~bound:(objective_min_activity s0)
+        best
+  | `Open ->
+      (* The subtree count must NOT depend on [jobs]: the frontier (and
+         with it root_best, every per-subtree result and the final
+         combine) is then identical for any worker count, which is what
+         makes the returned solution — not just its objective —
+         jobs-invariant even among equal-objective ties.  64 subtrees
+         keep 16 workers fed with slack for uneven subtree sizes. *)
+      let target = 64 in
+      let frontier, expansion_aborted = expand_frontier s0 ~target in
+      let root_best =
+        Option.map (fun x -> (s0.incumbent_obj, x)) s0.incumbent
+      in
+      let root_bound = objective_min_activity s0 in
+      if frontier = [] || expansion_aborted then
+        (* the whole tree closed during expansion, or a limit fired *)
+        finish
+          ~complete:((not expansion_aborted) && frontier = [])
+          ~stolen:0 ~nodes:s0.nodes ~bound:root_bound root_best
+      else begin
+        let frontier = Array.of_list frontier in
+        let n_sub = Array.length frontier in
+        let deques = Pool.Deques.create ~owners:jobs in
+        Array.iteri
+          (fun i path -> Pool.Deques.push deques ~owner:(i mod jobs) (i, path))
+          frontier;
+        let shared =
+          Atomic.make (match root_best with Some (o, _) -> o | None -> max_int)
+        in
+        let stolen = Atomic.make 0 in
+        let incomplete = Atomic.make false in
+        let results = Array.make n_sub None in
+        (* Workers run with no shared incumbent: inside a subtree only the
+           deterministic seed prunes; publication happens per subtree. *)
+        let worker_opts = { options with shared_incumbent = None } in
+        let work idx =
+          let winst =
+            if options.lp = Lp_never then None
+            else
+              match Simplex.instance_of_model model with
+              | None -> None
+              | Some inst ->
+                  (* pay for the root LP once per worker so the saved root
+                     basis each subtree restores is the optimal one *)
+                  ignore (Simplex.resolve ~max_iters:20_000 inst);
+                  Some inst
+          in
+          let ws = build_search ~options:worker_opts ~started model winst in
+          let total_nodes = ref 0 in
+          (* Capture and zero the per-search node counter, so each subtree
+             gets the full node budget.  A cumulative budget would make a
+             limit-hit subtree's partial result depend on which subtrees
+             this worker happened to process first — i.e. on the stealing
+             schedule; per-subtree budgets keep every subtree's outcome a
+             pure function of the subtree itself. *)
+          let flush_nodes () =
+            total_nodes := !total_nodes + ws.nodes;
+            ws.nodes <- 0
+          in
+          (* The wall clock and the stop token, unlike the node budget,
+             do not reset per subtree: once they fire, draining the rest
+             of the queue is pointless. *)
+          let hard_stop () =
+            (match ws.opts.stop with
+            | Some flag -> Atomic.get flag
+            | None -> false)
+            ||
+            match ws.opts.time_limit with
+            | Some tl -> now () -. ws.started > tl
+            | None -> false
+          in
+          (* replicate the deterministic root phase of the main domain *)
+          let root_ok =
+            try propagate ws None && probe_fixpoint ws ~max_passes:4
+            with Out_of_time ->
+              Atomic.set incomplete true;
+              false
+          in
+          if not root_ok then Atomic.set incomplete true
+          else begin
+            let process (i, path) =
+              reset_for_subtree ws ~seed:root_best;
+              flush_nodes ();
+              let m = mark ws in
+              (try
+                 List.iter
+                   (fun (v, lo, hi) ->
+                     set_lb ws v lo;
+                     set_ub ws v hi)
+                   path;
+                 let seeds = List.map (fun (v, _, _) -> v) path in
+                 let open_ = propagate ws (Some seeds) in
+                 (* Consulting the shared incumbent is sound for the final
+                    (objective, solution): it only ever holds true solution
+                    objectives >= the final best, so a skipped subtree's
+                    optimum is strictly worse than the final best and could
+                    not even tie. *)
+                 let skip =
+                   open_ && objective_min_activity ws > Atomic.get shared
+                 in
+                 if open_ && not skip then dfs ws 0
+               with Out_of_time -> Atomic.set incomplete true);
+              undo_to ws m;
+              match ws.incumbent with
+              | Some x
+                when ws.incumbent_obj
+                     < (match root_best with Some (o, _) -> o | None -> max_int)
+                ->
+                  results.(i) <- Some (ws.incumbent_obj, x);
+                  publish shared ws.incumbent_obj
+              | Some _ | None -> ()
+            in
+            let rec loop () =
+              if not (hard_stop ()) then
+                match Pool.Deques.pop deques ~owner:idx with
+                | Some item ->
+                    process item;
+                    loop ()
+                | None -> (
+                    match Pool.Deques.steal deques ~thief:idx with
+                    | Some (item, _victim) ->
+                        Atomic.incr stolen;
+                        process item;
+                        loop ()
+                    | None -> ())
+              else if
+                (* abandoning actual work is what makes the run incomplete;
+                   a deadline passing after the queue drained is not *)
+                Pool.Deques.pop deques ~owner:idx <> None
+                || Pool.Deques.steal deques ~thief:idx <> None
+              then Atomic.set incomplete true
+            in
+            loop ()
+          end;
+          flush_nodes ();
+          !total_nodes
+        in
+        let pool = Pool.create ~jobs in
+        let tasks = List.init jobs (fun idx -> Pool.submit pool (fun () -> work idx)) in
+        let settled = List.map Pool.await tasks in
+        Pool.shutdown pool;
+        let worker_nodes =
+          List.fold_left
+            (fun acc r ->
+              match r with Ok n -> acc + n | Error e -> raise e)
+            0 settled
+        in
+        let best = ref root_best in
+        Array.iter
+          (function
+            | Some (obj, x) -> (
+                match !best with
+                | Some (bo, bx) when bo < obj || (bo = obj && compare bx x <= 0)
+                  ->
+                    ()
+                | Some _ | None -> best := Some (obj, x))
+            | None -> ())
+          results;
+        (match (options.shared_incumbent, !best) with
+        | Some a, Some (obj, _) -> publish a obj
+        | _ -> ());
+        let complete = not (Atomic.get incomplete) in
+        finish ~complete
+          ~stolen:(Atomic.get stolen)
+          ~nodes:(s0.nodes + worker_nodes)
+          ~bound:root_bound !best
+      end
 
 (* Shared cut generation for portfolio races: one cut loop, every member
    branches on the strengthened model (with its own private instance). *)

@@ -24,6 +24,11 @@ type outcome = {
   bound : int;  (** proven lower bound on the optimum *)
   nodes : int;
   time_s : float;  (** wall-clock seconds spent *)
+  orbits : int;
+      (** symmetry orbits broken during this solve (supplied or detected) *)
+  stolen : int;
+      (** subtrees executed by a worker other than their home worker;
+          always 0 for the sequential {!solve} *)
 }
 
 type lp_mode =
@@ -66,13 +71,50 @@ type options = {
           decreasing), and values published by other solvers tighten this
           search's cutoff.  Only ever written with true solution
           objectives, so pruning against it preserves completeness. *)
+  sym : bool;
+      (** master switch for symmetry breaking (default true): when off,
+          [orbits] is ignored and no detection runs *)
+  orbits : Symmetry.orbit list;
+      (** variable-interchangeability orbits to break.  Every orbit MUST
+          be a true model symmetry (use {!Symmetry.filter_verified} on
+          structural candidates); lex ordering rows are added at the root
+          and orbital fixing joins the propagation fixpoint during search.
+          When empty (and [sym] is on), {!Symmetry.detect} runs — it bails
+          out immediately on large models.  A warm start is replaced by
+          its canonical symmetric image; if that image fails the model
+          audit the orbits are dropped, never the warm start. *)
 }
 
 val default : options
 (** No limits, [Lp_root], cuts on, no order, prefer 1, no warm start,
-    quiet, no cancellation token, no shared incumbent. *)
+    quiet, no cancellation token, no shared incumbent, symmetry breaking
+    on with auto-detected orbits. *)
 
 val solve : ?options:options -> Model.t -> outcome
+
+val solve_parallel : ?options:options -> jobs:int -> Model.t -> outcome
+(** One instance, [jobs] domains: the root phase (cuts, propagation,
+    probing) runs once, the root is expanded breadth-first into open
+    subtrees using the sequential branching order, and the subtrees are
+    spread over per-worker work-stealing deques ({!Pool.Deques}) — idle
+    workers steal the oldest pending subtree of a busy one.  Workers share
+    an atomic incumbent used only to skip whole subtrees whose bound is
+    strictly above it, which can never discard an optimal solution or a
+    tie; inside a subtree the search state is reset to a canonical
+    root-derived state, so each subtree's result is schedule-independent.
+    The returned solution is the minimum over all subtree results under
+    (objective, lexicographic solution) — [solve_parallel ~jobs:1] and
+    [~jobs:4] return identical status, objective and solution.
+    [outcome.stolen] counts subtrees that ran away from their home worker;
+    node counts are summed across workers.
+
+    [options.node_limit] applies to the root phase and then to each open
+    subtree separately (not cumulatively per worker), so a limit-hit
+    subtree's partial result is a pure function of the subtree, not of
+    the stealing schedule: even node-limited runs return the same
+    objective and solution for any [jobs].  Only the completion flag
+    (Optimal vs Feasible) and the node/stolen counters may vary across
+    [jobs], and only when a limit actually fires. *)
 
 val with_root_cuts : ?options:options -> Model.t -> Model.t
 (** The model strengthened by one root cutting-plane loop, for callers

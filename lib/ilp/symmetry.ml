@@ -1,0 +1,366 @@
+type orbit =
+  | Scalar of int array
+  | Blocks of int array array
+
+let size = function
+  | Scalar vs -> Array.length vs
+  | Blocks cols -> Array.length cols
+
+let vars = function
+  | Scalar vs -> Array.to_list vs
+  | Blocks cols ->
+      Array.fold_left (fun acc col -> acc @ Array.to_list col) [] cols
+
+(* Preprocessed view: every constraint as (sense, rhs, terms sorted by
+   variable), an occurrence list per variable, and a canonical string key
+   per row so row multisets compare as sorted key lists. *)
+type ctx = {
+  n : int;
+  objc : int array;
+  lbs : int array;
+  ubs : int array;
+  rows : (int * int * (int * int) array) array;  (* sense, rhs, (var, coef) *)
+  occ : int list array;  (* var -> row indices, ascending *)
+}
+
+let sense_code = function Model.Le -> 0 | Model.Ge -> 1 | Model.Eq -> 2
+
+(* Sort terms by variable and merge duplicates (a Linexpr may in principle
+   carry a variable twice; the canonical form must not). *)
+let canon_terms terms =
+  let a = Array.of_list terms in
+  Array.sort (fun (v1, _) (v2, _) -> compare v1 v2) a;
+  let out = ref [] in
+  Array.iter
+    (fun (v, c) ->
+      match !out with
+      | (v', c') :: rest when v' = v -> out := (v, c + c') :: rest
+      | _ -> out := (v, c) :: !out)
+    a;
+  Array.of_list (List.rev (List.filter (fun (_, c) -> c <> 0) !out))
+
+let make_ctx model =
+  let n = Model.n_vars model in
+  let objc = Array.make (max n 1) 0 in
+  List.iter (fun (a, v) -> objc.(v) <- a) (Linexpr.terms (Model.objective model));
+  let lbs = Array.make (max n 1) 0 and ubs = Array.make (max n 1) 0 in
+  for v = 0 to n - 1 do
+    let l, u = Model.bounds model v in
+    lbs.(v) <- l;
+    ubs.(v) <- u
+  done;
+  let rows =
+    Array.map
+      (fun (c : Model.constr) ->
+        ( sense_code c.Model.sense,
+          c.Model.rhs,
+          canon_terms
+            (List.map (fun (a, v) -> (v, a)) (Linexpr.terms c.Model.expr)) ))
+      (Model.constraints model)
+  in
+  let occ = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i (_, _, terms) ->
+      Array.iter (fun (v, _) -> occ.(v) <- i :: occ.(v)) terms)
+    rows;
+  Array.iteri (fun v l -> occ.(v) <- List.rev l) occ;
+  { n; objc; lbs; ubs; rows; occ }
+
+let row_key (sense, rhs, terms) =
+  let b = Buffer.create (16 + (Array.length terms * 8)) in
+  Buffer.add_string b (string_of_int sense);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int rhs);
+  Array.iter
+    (fun (v, c) ->
+      Buffer.add_char b ';';
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int c))
+    terms;
+  Buffer.contents b
+
+let transposition_ok ctx pairs =
+  let pairs = List.filter (fun (u, v) -> u <> v) pairs in
+  let valid =
+    List.for_all
+      (fun (u, v) ->
+        u >= 0 && v >= 0 && u < ctx.n && v < ctx.n
+        && ctx.objc.(u) = ctx.objc.(v)
+        && ctx.lbs.(u) = ctx.lbs.(v)
+        && ctx.ubs.(u) = ctx.ubs.(v))
+      pairs
+  in
+  if not valid then false
+  else begin
+    let map = Hashtbl.create (2 * List.length pairs) in
+    (* The swaps must form an involution on distinct variables. *)
+    let clash = ref false in
+    List.iter
+      (fun (u, v) ->
+        if Hashtbl.mem map u || Hashtbl.mem map v then clash := true
+        else begin
+          Hashtbl.replace map u v;
+          Hashtbl.replace map v u
+        end)
+      pairs;
+    if !clash then false
+    else begin
+      let image v = match Hashtbl.find_opt map v with Some w -> w | None -> v in
+      let affected =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun v _ acc -> ctx.occ.(v) @ acc) map [])
+      in
+      (* The permutation fixes every unaffected row, so invariance of the
+         whole constraint multiset reduces to: the multiset of affected-row
+         keys equals the multiset of their images. *)
+      let originals =
+        List.map (fun i -> row_key ctx.rows.(i)) affected
+      in
+      let images =
+        List.map
+          (fun i ->
+            let sense, rhs, terms = ctx.rows.(i) in
+            let terms' =
+              Array.map (fun (v, c) -> (image v, c)) terms
+            in
+            Array.sort (fun (v1, _) (v2, _) -> compare v1 v2) terms';
+            row_key (sense, rhs, terms'))
+          affected
+      in
+      List.sort compare originals = List.sort compare images
+    end
+  end
+
+let verify ctx = function
+  | Scalar vs ->
+      Array.length vs >= 2
+      && (let ok = ref true in
+          for i = 0 to Array.length vs - 2 do
+            if !ok then ok := transposition_ok ctx [ (vs.(i), vs.(i + 1)) ]
+          done;
+          !ok)
+  | Blocks cols ->
+      Array.length cols >= 2
+      && Array.for_all
+           (fun col -> Array.length col = Array.length cols.(0))
+           cols
+      && (let ok = ref true in
+          for j = 0 to Array.length cols - 2 do
+            if !ok then
+              ok :=
+                transposition_ok ctx
+                  (Array.to_list
+                     (Array.map2
+                        (fun u v -> (u, v))
+                        cols.(j)
+                        cols.(j + 1)))
+          done;
+          !ok)
+
+let filter_verified model orbits =
+  match List.filter (fun o -> size o >= 2) orbits with
+  | [] -> []
+  | candidates ->
+      let ctx = make_ctx model in
+      List.filter (verify ctx) candidates
+
+(* --- automatic scalar-orbit detection ---------------------------------- *)
+
+(* Interning: map structural signatures to small integer colours. *)
+let intern table next key =
+  match Hashtbl.find_opt table key with
+  | Some c -> c
+  | None ->
+      let c = !next in
+      incr next;
+      Hashtbl.replace table key c;
+      c
+
+let detect ?(max_vars = 4000) ?(max_nnz = 100_000) model =
+  let n = Model.n_vars model in
+  if n < 2 || n > max_vars then []
+  else begin
+    let ctx = make_ctx model in
+    let nnz =
+      Array.fold_left (fun acc (_, _, t) -> acc + Array.length t) 0 ctx.rows
+    in
+    if nnz > max_nnz then []
+    else begin
+      (* Iterative colour refinement: a variable's colour is refined by the
+         multiset of (coefficient, row colour) over its occurrences; a
+         row's colour by its sense/rhs and the multiset of (coefficient,
+         variable colour).  This only ever proposes candidates — exactness
+         comes from the transposition verification below. *)
+      let table = Hashtbl.create 97 and next = ref 0 in
+      let vcolor =
+        Array.init n (fun v ->
+            intern table next
+              (Printf.sprintf "v%d,%d,%d" ctx.lbs.(v) ctx.ubs.(v) ctx.objc.(v)))
+      in
+      let rcolor = Array.make (Array.length ctx.rows) 0 in
+      let stable = ref false and passes = ref 0 in
+      while (not !stable) && !passes < 8 do
+        incr passes;
+        Array.iteri
+          (fun i (sense, rhs, terms) ->
+            let sig_ =
+              List.sort compare
+                (Array.to_list
+                   (Array.map (fun (v, c) -> (c, vcolor.(v))) terms))
+            in
+            rcolor.(i) <-
+              intern table next
+                (Printf.sprintf "r%d,%d,%s" sense rhs
+                   (String.concat ";"
+                      (List.map (fun (c, k) -> Printf.sprintf "%d:%d" c k) sig_))))
+          ctx.rows;
+        stable := true;
+        Array.iteri
+          (fun v old ->
+            let sig_ =
+              List.sort compare
+                (List.concat_map
+                   (fun i ->
+                     let _, _, terms = ctx.rows.(i) in
+                     List.filter_map
+                       (fun (v', c) ->
+                         if v' = v then Some (c, rcolor.(i)) else None)
+                       (Array.to_list terms))
+                   ctx.occ.(v))
+            in
+            let c =
+              intern table next
+                (Printf.sprintf "w%d,%s" old
+                   (String.concat ";"
+                      (List.map (fun (c, k) -> Printf.sprintf "%d:%d" c k) sig_)))
+            in
+            if c <> vcolor.(v) then begin
+              vcolor.(v) <- c;
+              stable := false
+            end)
+          vcolor
+      done;
+      (* Group by final colour, then split each class into maximal runs of
+         verified adjacent transpositions (adjacent transpositions generate
+         the full symmetric group on the run). *)
+      let classes = Hashtbl.create 17 in
+      for v = n - 1 downto 0 do
+        Hashtbl.replace classes vcolor.(v)
+          (v
+          ::
+          (match Hashtbl.find_opt classes vcolor.(v) with
+          | Some l -> l
+          | None -> []))
+      done;
+      let orbits = ref [] in
+      Hashtbl.iter
+        (fun _ members ->
+          match members with
+          | [] | [ _ ] -> ()
+          | first :: rest ->
+              let flush run =
+                if List.length run >= 2 then
+                  orbits := Scalar (Array.of_list (List.rev run)) :: !orbits
+              in
+              let run = ref [ first ] in
+              List.iter
+                (fun v ->
+                  match !run with
+                  | last :: _ when transposition_ok ctx [ (last, v) ] ->
+                      run := v :: !run
+                  | _ ->
+                      flush !run;
+                      run := [ v ])
+                rest;
+              flush !run)
+        classes;
+      (* Deterministic output order: by smallest member. *)
+      List.sort
+        (fun a b ->
+          compare (List.hd (vars a)) (List.hd (vars b)))
+        !orbits
+    end
+  end
+
+(* --- lexicographic ordering rows ---------------------------------------- *)
+
+let add_lex_rows model orbits =
+  if orbits = [] then (model, 0)
+  else begin
+    let m = Model.copy model in
+    let count = ref 0 in
+    let add name terms rhs =
+      Model.add_le m ~name (Linexpr.of_list terms) rhs;
+      incr count
+    in
+    List.iteri
+      (fun oi orbit ->
+        match orbit with
+        | Scalar vs ->
+            for i = 0 to Array.length vs - 2 do
+              add
+                (Printf.sprintf "sym%d_s%d" oi i)
+                [ (1, vs.(i + 1)); (-1, vs.(i)) ]
+                0
+            done
+        | Blocks cols ->
+            let len = if Array.length cols = 0 then 0 else Array.length cols.(0) in
+            let binary =
+              Array.for_all
+                (fun col ->
+                  Array.for_all
+                    (fun v ->
+                      let l, u = Model.bounds model v in
+                      l >= 0 && u <= 1)
+                    col)
+                cols
+            in
+            for j = 0 to Array.length cols - 2 do
+              let a = cols.(j) and b = cols.(j + 1) in
+              if binary && len >= 1 && len <= 30 then
+                (* exact lex as one weighted row: value(b) <= value(a) when
+                   columns are read as big-endian binary numbers *)
+                add
+                  (Printf.sprintf "sym%d_b%d" oi j)
+                  (List.concat
+                     (List.init len (fun i ->
+                          let w = 1 lsl (len - 1 - i) in
+                          [ (w, b.(i)); (-w, a.(i)) ])))
+                  0
+              else if len >= 1 then
+                (* implied first-component ordering only *)
+                add
+                  (Printf.sprintf "sym%d_b%d" oi j)
+                  [ (1, b.(0)); (-1, a.(0)) ]
+                  0
+            done)
+      orbits;
+    (m, !count)
+  end
+
+(* --- canonical representative ------------------------------------------ *)
+
+let canonicalize orbits x =
+  let x = Array.copy x in
+  List.iter
+    (fun orbit ->
+      match orbit with
+      | Scalar vs ->
+          let values = Array.map (fun v -> x.(v)) vs in
+          Array.sort (fun a b -> compare b a) values;
+          Array.iteri (fun i v -> x.(v) <- values.(i)) vs
+      | Blocks cols ->
+          let values = Array.map (Array.map (fun v -> x.(v))) cols in
+          let idx = Array.init (Array.length cols) Fun.id in
+          (* lexicographically non-increasing columns; stable on ties *)
+          let idx = Array.to_list idx in
+          let idx =
+            List.stable_sort (fun i j -> compare values.(j) values.(i)) idx
+          in
+          List.iteri
+            (fun j orig ->
+              Array.iteri (fun i v -> x.(v) <- values.(orig).(i)) cols.(j))
+            idx)
+    orbits;
+  x

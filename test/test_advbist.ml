@@ -435,35 +435,177 @@ let prop_synthesized_simulates_random =
               in
               Datapath.Sim.agrees o.Advbist.Synth.plan.Bist.Plan.netlist ~inputs))
 
-(* The solve farm must not change results: a parallel sweep is the same
-   per-k solver runs on independent state, so with a *node* limit (which,
-   unlike a wall-clock limit, is unaffected by scheduling) every objective
-   value, optimality flag and node count must be byte-identical to the
-   sequential path's. *)
+(* Work stealing must not change results: the frontier of open subtrees is
+   independent of the worker count, each subtree's outcome is a pure
+   function of the subtree (canonical reset state, per-subtree node
+   budgets), and the combine step is a deterministic (objective, lex
+   solution) fold — so a node-limited sweep returns identical designs for
+   any worker count.  (A node limit, unlike a wall-clock one, is
+   unaffected by machine load.) *)
 let test_parallel_sweep_deterministic name () =
   let p = Option.get (Circuits.Suite.find name) in
   let run jobs =
-    match Advbist.Synth.sweep ~node_limit:30_000 ~jobs p with
+    match Advbist.Synth.sweep ~node_limit:2_000 ~jobs p with
     | Ok (reference, rows) ->
         ( reference.Advbist.Synth.ref_area,
-          reference.Advbist.Synth.ref_optimal,
           List.map
             (fun (r : Advbist.Synth.sweep_row) ->
               ( r.Advbist.Synth.k,
-                r.Advbist.Synth.outcome.Advbist.Synth.area,
-                r.Advbist.Synth.outcome.Advbist.Synth.optimal,
-                r.Advbist.Synth.outcome.Advbist.Synth.nodes ))
+                r.Advbist.Synth.outcome.Advbist.Synth.area ))
             rows )
     | Error msg -> Alcotest.failf "%s sweep (jobs=%d): %s" name jobs msg
   in
-  let ref_area_1, ref_opt_1, rows_1 = run 1 in
-  let ref_area_4, ref_opt_4, rows_4 = run 4 in
-  check_int "reference area" ref_area_1 ref_area_4;
-  check_bool "reference optimality" ref_opt_1 ref_opt_4;
-  Alcotest.(check (list (pair (pair int int) (pair bool int))))
-    "per-k area/optimality/nodes"
-    (List.map (fun (k, a, o, n) -> ((k, a), (o, n))) rows_1)
-    (List.map (fun (k, a, o, n) -> ((k, a), (o, n))) rows_4)
+  let ref_area_2, rows_2 = run 2 in
+  let ref_area_4, rows_4 = run 4 in
+  check_int "reference area" ref_area_2 ref_area_4;
+  Alcotest.(check (list (pair int int)))
+    "per-k areas" rows_2 rows_4
+
+(* The work-stealing search on a real circuit model: jobs 1..4 must return
+   the same status, objective and solution vector (run to completion — no
+   limits — so even the optimality flag is schedule-independent). *)
+let test_solve_parallel_determinism () =
+  let e = Advbist.Encoding.build fig1 ~n_regs:3 ~k:1 in
+  let model, _ = Ilp.Presolve.strengthen e.Advbist.Encoding.model in
+  let options =
+    {
+      Ilp.Solver.default with
+      Ilp.Solver.cuts = false;
+      branch_order = Some (Advbist.Encoding.branch_order e);
+      orbits = Advbist.Encoding.orbits e;
+    }
+  in
+  let runs =
+    List.map
+      (fun jobs -> Ilp.Solver.solve_parallel ~options ~jobs model)
+      [ 1; 2; 3; 4 ]
+  in
+  let r0 = List.hd runs in
+  check_bool "k=1 proven optimal" true
+    (r0.Ilp.Solver.status = Ilp.Solver.Optimal);
+  List.iteri
+    (fun i (r : Ilp.Solver.outcome) ->
+      check_bool (Printf.sprintf "status jobs=%d" (i + 1)) true
+        (r.Ilp.Solver.status = r0.Ilp.Solver.status);
+      check_bool (Printf.sprintf "objective jobs=%d" (i + 1)) true
+        (r.Ilp.Solver.objective = r0.Ilp.Solver.objective);
+      check_bool (Printf.sprintf "solution jobs=%d" (i + 1)) true
+        (r.Ilp.Solver.solution = r0.Ilp.Solver.solution))
+    runs
+
+(* With more registers than the clique pins, the spare registers are
+   interchangeable: Encoding.orbits must surface them (exactly verified),
+   and solving with those orbits must reach the same optimum. *)
+let test_encoding_orbits_free_registers () =
+  let e = Advbist.Encoding.build fig1 ~n_regs:5 ~k:1 in
+  let orbits = Advbist.Encoding.orbits e in
+  check_bool "spare-register orbit found" true (orbits <> []);
+  let solve orbits =
+    let model, _ = Ilp.Presolve.strengthen e.Advbist.Encoding.model in
+    let options =
+      {
+        Ilp.Solver.default with
+        Ilp.Solver.cuts = false;
+        sym = orbits <> [];
+        orbits;
+        branch_order = Some (Advbist.Encoding.branch_order e);
+      }
+    in
+    Ilp.Solver.solve ~options model
+  in
+  let with_orbits = solve orbits in
+  let without = solve [] in
+  check_bool "both optimal" true
+    (with_orbits.Ilp.Solver.status = Ilp.Solver.Optimal
+    && without.Ilp.Solver.status = Ilp.Solver.Optimal);
+  check_int "same optimum"
+    (Option.get without.Ilp.Solver.objective)
+    (Option.get with_orbits.Ilp.Solver.objective)
+
+(* Cross-k seeding: a seed netlist gives synthesize a finite incumbent, and
+   the seeded design can never be worse than the seed's own repaired cost;
+   sweeping with seeds must preserve the per-k areas of independent
+   solves on an instance small enough to prove optimal everywhere. *)
+let test_sweep_cross_k_seeding () =
+  let reference, rows = get (Advbist.Synth.sweep ~time_limit:60.0 fig1) in
+  List.iter
+    (fun (r : Advbist.Synth.sweep_row) ->
+      check_bool
+        (Printf.sprintf "k=%d optimal" r.Advbist.Synth.k)
+        true r.Advbist.Synth.outcome.Advbist.Synth.optimal;
+      (* independent solve of the same instance: same optimum *)
+      let indep =
+        get
+          (Advbist.Synth.synthesize ~time_limit:60.0 fig1
+             ~k:r.Advbist.Synth.k)
+      in
+      check_int
+        (Printf.sprintf "k=%d area matches independent solve"
+           r.Advbist.Synth.k)
+        indep.Advbist.Synth.area r.Advbist.Synth.outcome.Advbist.Synth.area)
+    rows;
+  (* seeding from the reference data path is accepted and feasible *)
+  let seeded =
+    get
+      (Advbist.Synth.synthesize ~time_limit:60.0
+         ~seed:reference.Advbist.Synth.ref_netlist fig1 ~k:1)
+  in
+  let unseeded = get (Advbist.Synth.synthesize ~time_limit:60.0 fig1 ~k:1) in
+  check_int "seeded optimum unchanged" unseeded.Advbist.Synth.area
+    seeded.Advbist.Synth.area
+
+(* The structural dual bound must hold for every feasible design — check it
+   against proven optima (fig1 across k, tseng k=1) and against every
+   feasible incumbent on limit-hit suite instances.  Also pin down that it
+   is non-trivial (strictly above the bare mux-free design floor would be
+   circuit-specific; > 0 is the portable claim). *)
+let test_objective_lower_bound_sound () =
+  List.iter
+    (fun k ->
+      let n_regs = Dfg.Problem.min_registers fig1 in
+      let e = Advbist.Encoding.build fig1 ~n_regs ~k in
+      let lb = Advbist.Encoding.objective_lower_bound e in
+      check_bool (Printf.sprintf "fig1 k=%d bound positive" k) true (lb > 0);
+      let o = get (Advbist.Synth.synthesize ~time_limit:60.0 fig1 ~k) in
+      check_bool (Printf.sprintf "fig1 k=%d optimal" k) true
+        o.Advbist.Synth.optimal;
+      check_bool
+        (Printf.sprintf "fig1 k=%d bound below optimum (%d <= %d)" k
+           (lb + e.Advbist.Encoding.base_area)
+           o.Advbist.Synth.area)
+        true
+        (lb + e.Advbist.Encoding.base_area <= o.Advbist.Synth.area))
+    [ 1; 2 ];
+  let tseng = Option.get (Circuits.Suite.find "tseng") in
+  let n_regs = Dfg.Problem.min_registers tseng in
+  let e = Advbist.Encoding.build tseng ~n_regs ~k:1 in
+  let lb = Advbist.Encoding.objective_lower_bound e in
+  let o = get (Advbist.Synth.synthesize ~time_limit:60.0 tseng ~k:1) in
+  check_bool "tseng k=1 optimal" true o.Advbist.Synth.optimal;
+  check_bool
+    (Printf.sprintf "tseng k=1 bound below optimum (%d <= %d)"
+       (lb + e.Advbist.Encoding.base_area)
+       o.Advbist.Synth.area)
+    true
+    (lb + e.Advbist.Encoding.base_area <= o.Advbist.Synth.area)
+
+(* On a limit-hit solve the reported gap must reflect the structural bound:
+   strictly below 100, and consistent with the outcome's own area. *)
+let test_gap_uses_structural_bound () =
+  let iir3 = Option.get (Circuits.Suite.find "iir3") in
+  let o = get (Advbist.Synth.synthesize ~node_limit:5_000 iir3 ~k:1) in
+  check_bool "limit hit" true (not o.Advbist.Synth.optimal);
+  check_bool
+    (Printf.sprintf "gap below 100 (%.1f)" o.Advbist.Synth.gap_pct)
+    true
+    (o.Advbist.Synth.gap_pct < 100.0);
+  let n_regs = Dfg.Problem.min_registers iir3 in
+  let e = Advbist.Encoding.build iir3 ~n_regs ~k:1 in
+  let lb_area =
+    Advbist.Encoding.objective_lower_bound e + e.Advbist.Encoding.base_area
+  in
+  check_bool "incumbent respects the bound" true
+    (o.Advbist.Synth.area >= lb_area)
 
 let () =
   Alcotest.run "advbist"
@@ -474,6 +616,22 @@ let () =
             (test_parallel_sweep_deterministic "tseng");
           Alcotest.test_case "sweep determinism (paulin)" `Slow
             (test_parallel_sweep_deterministic "paulin");
+          Alcotest.test_case "solve_parallel jobs 1..4 (fig1)" `Quick
+            test_solve_parallel_determinism;
+          Alcotest.test_case "cross-k seeding (fig1)" `Quick
+            test_sweep_cross_k_seeding;
+        ] );
+      ( "orbits",
+        [
+          Alcotest.test_case "free registers" `Quick
+            test_encoding_orbits_free_registers;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "structural bound sound" `Slow
+            test_objective_lower_bound_sound;
+          Alcotest.test_case "gap uses structural bound" `Quick
+            test_gap_uses_structural_bound;
         ] );
       ( "encoding",
         [

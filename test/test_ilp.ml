@@ -903,6 +903,133 @@ let test_lp_format_sanitize () =
   check_bool "sanitized name used" true (contains s "x_1_2_");
   check_bool "general section" true (contains s "General")
 
+(* -- Symmetry ------------------------------------------------------------- *)
+
+(* A random model with a planted symmetric column group: [g] extra boolean
+   variables that carry the same coefficient in every row and in the
+   objective, so any permutation of them is a model automorphism. *)
+let gen_planted_symmetric =
+  QCheck2.Gen.(pair gen_small_model (int_range 2 3))
+
+let build_planted_model ((n, obj, rows), g) =
+  let m = Ilp.Model.create ~name:"planted" () in
+  let xs =
+    Array.init n (fun i -> Ilp.Model.bool_var m (Printf.sprintf "x%d" i))
+  in
+  let ys =
+    Array.init g (fun i -> Ilp.Model.bool_var m (Printf.sprintf "y%d" i))
+  in
+  List.iter
+    (fun (terms, sense, rhs) ->
+      let shared = match terms with c :: _ -> c | [] -> 1 in
+      let e =
+        Ilp.Linexpr.of_list
+          (List.mapi (fun i c -> (c, xs.(i))) terms
+          @ List.map (fun y -> (shared, y)) (Array.to_list ys))
+      in
+      Ilp.Model.add m e sense rhs)
+    rows;
+  let shared_obj = match obj with c :: _ -> c | [] -> 1 in
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list
+       (List.mapi (fun i c -> (c, xs.(i))) obj
+       @ List.map (fun y -> (shared_obj, y)) (Array.to_list ys)));
+  (m, ys)
+
+let prop_symmetry_preserves_optimum =
+  QCheck2.Test.make
+    ~name:"lex rows + orbital fixing preserve the optimum (planted orbits)"
+    ~count:200 gen_planted_symmetric (fun spec ->
+      let m, _ = build_planted_model spec in
+      let r = Ilp.Solver.solve m in
+      let plain =
+        Ilp.Solver.solve
+          ~options:{ Ilp.Solver.default with Ilp.Solver.sym = false }
+          m
+      in
+      r.Ilp.Solver.orbits >= 1
+      && r.Ilp.Solver.status = plain.Ilp.Solver.status
+      &&
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+      | _ -> false)
+
+let prop_trusted_orbits_preserve_optimum =
+  QCheck2.Test.make
+    ~name:"solver-trusted verified orbits preserve the optimum" ~count:200
+    gen_planted_symmetric (fun spec ->
+      let m, ys = build_planted_model spec in
+      let orbits =
+        Ilp.Symmetry.filter_verified m [ Ilp.Symmetry.Scalar ys ]
+      in
+      (* the planted group is symmetric by construction *)
+      List.length orbits = 1
+      &&
+      let r =
+        Ilp.Solver.solve
+          ~options:{ Ilp.Solver.default with Ilp.Solver.orbits } m
+      in
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+      | _ -> false)
+
+let test_symmetry_detects_planted () =
+  let m, ys = build_planted_model ((3, [ 2; -1; 3 ], [ ([ 1; 2; -1 ], Ilp.Model.Le, 3) ]), 3) in
+  let orbits = Ilp.Symmetry.detect m in
+  (* some detected orbit must contain the whole planted group *)
+  let covers o =
+    let vars = Ilp.Symmetry.vars o in
+    Array.for_all (fun y -> List.mem y vars) ys
+  in
+  check_bool "planted group detected" true (List.exists covers orbits)
+
+(* -- Work-stealing parallel search ---------------------------------------- *)
+
+let test_deques () =
+  let d = Ilp.Pool.Deques.create ~owners:2 in
+  check_int "owners" 2 (Ilp.Pool.Deques.owners d);
+  Ilp.Pool.Deques.push d ~owner:0 1;
+  Ilp.Pool.Deques.push d ~owner:0 2;
+  Ilp.Pool.Deques.push d ~owner:0 3;
+  check_bool "pop is LIFO" true (Ilp.Pool.Deques.pop d ~owner:0 = Some 3);
+  check_bool "steal takes the oldest" true
+    (Ilp.Pool.Deques.steal d ~thief:1 = Some (1, 0));
+  check_bool "owner keeps the rest" true
+    (Ilp.Pool.Deques.pop d ~owner:0 = Some 2);
+  check_bool "empty pop" true (Ilp.Pool.Deques.pop d ~owner:0 = None);
+  check_bool "empty steal" true (Ilp.Pool.Deques.steal d ~thief:1 = None);
+  check_bool "thief never steals from itself" true
+    (Ilp.Pool.Deques.push d ~owner:1 9;
+     Ilp.Pool.Deques.steal d ~thief:1 = None);
+  check_bool "other thief does" true
+    (Ilp.Pool.Deques.steal d ~thief:0 = Some (9, 1))
+
+let prop_parallel_matches_brute_force =
+  QCheck2.Test.make
+    ~name:"work-stealing solve = brute force, identical across jobs"
+    ~count:60 gen_small_model (fun spec ->
+      let m = build_model spec in
+      let runs =
+        List.map (fun jobs -> Ilp.Solver.solve_parallel ~jobs m) [ 1; 2; 4 ]
+      in
+      let r = List.hd runs in
+      List.for_all
+        (fun (r' : Ilp.Solver.outcome) ->
+          r'.Ilp.Solver.status = r.Ilp.Solver.status
+          && r'.Ilp.Solver.objective = r.Ilp.Solver.objective
+          && r'.Ilp.Solver.solution = r.Ilp.Solver.solution)
+        runs
+      &&
+      match (brute_force m, r.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get r.Ilp.Solver.objective = expect
+      | _ -> false)
+
 let () =
   Alcotest.run "ilp"
     [
@@ -981,4 +1108,18 @@ let () =
         [ Alcotest.test_case "knapsack" `Quick test_portfolio_knapsack ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_portfolio_matches_brute_force ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "planted group detected" `Quick
+            test_symmetry_detects_planted;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_symmetry_preserves_optimum;
+              prop_trusted_orbits_preserve_optimum;
+            ] );
+      ( "parallel",
+        [ Alcotest.test_case "deques" `Quick test_deques ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_parallel_matches_brute_force ] );
     ]
