@@ -56,12 +56,17 @@ val synthesize :
     incumbent bound instead of one branch-and-bound run; same optima,
     often less wall-clock on hard instances.  Default false.
 
-    [sym], [jobs] and [steal] as in {!reference}.  [seed] is an extra
-    warm-start candidate: an already-synthesized data path (typically the
-    previous k's design, or the reference circuit) whose session
-    assignment is repaired for this [k] by {!Session_opt}; the cheaper of
-    it and the constructive heuristic's design becomes the initial
-    incumbent, so the solve starts with a finite primal bound. *)
+    [sym], [jobs] and [steal] as in {!reference}.  [seed] is an
+    already-synthesized data path (typically the previous k's design, or
+    the reference circuit) whose session assignment is repaired for this
+    [k] by {!Session_opt}.  The constructive heuristic's design remains
+    the solver's warm start — it carries the value hints the search
+    trajectory is tuned to — while the repaired seed is passed as a
+    bound-only initial incumbent ({!Ilp.Solver.options.incumbent_start}):
+    it tightens the starting cutoff whenever it is the cheaper design
+    without steering branching.  Either way the solve starts with a
+    finite primal bound whenever a candidate lifts to a feasible
+    vector. *)
 
 type sweep_row = {
   k : int;

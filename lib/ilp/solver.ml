@@ -21,6 +21,7 @@ type options = {
   branch_order : int list option;
   prefer_high : bool;
   warm_start : int array option;
+  incumbent_start : int array option;
   verbose : bool;
   branch_window : int;
   stop : bool Atomic.t option;
@@ -38,6 +39,7 @@ let default =
     branch_order = None;
     prefer_high = true;
     warm_start = None;
+    incumbent_start = None;
     verbose = false;
     branch_window = 16;
     stop = None;
@@ -884,7 +886,17 @@ let prepare ~(options : options) model =
     if orbits = [] || warm <> None then model
     else fst (Symmetry.add_lex_rows model orbits)
   in
-  (model, { options with warm_start = warm; orbits })
+  (* The bound-only incumbent is canonicalized the same way (it must pass
+     the audit against the possibly lex-augmented model), but dropped
+     rather than costing us the orbits: it is an optional extra bound. *)
+  let incumbent_start =
+    match options.incumbent_start with
+    | None -> None
+    | Some x when orbits = [] -> Some x
+    | Some x when Array.length x <> Model.n_vars model -> None
+    | Some x -> Some (canon_fix orbits x 50)
+  in
+  (model, { options with warm_start = warm; incumbent_start; orbits })
 
 (* Root cut loop under the solve's budget: cap cut generation at a quarter
    of any time limit so branching always gets the lion's share. *)
@@ -1047,15 +1059,24 @@ let build_search ~(options : options) ~started model warm_inst =
       value_hint = options.warm_start;
     }
   in
-  (match warm with
-  | Some x ->
-      let obj =
-        Array.fold_left (fun acc (a, v) -> acc + (a * x.(v))) 0 obj_terms
-      in
+  let install x =
+    let obj =
+      Array.fold_left (fun acc (a, v) -> acc + (a * x.(v))) 0 obj_terms
+    in
+    if obj < s.incumbent_obj then begin
       s.incumbent <- Some (Array.copy x);
       s.incumbent_obj <- obj;
-      (match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ())
-  | None -> ());
+      match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ()
+    end
+  in
+  Option.iter install warm;
+  (* The bound-only incumbent: audited against the final (possibly
+     lex-augmented) model like the warm start, but installed without
+     touching [value_hint] — it tightens the cutoff, never the
+     trajectory. *)
+  (match options.incumbent_start with
+  | Some x when Array.length x = n && Model.check model x = Ok () -> install x
+  | Some _ | None -> ());
   s
 
 let solve ?(options = default) model =

@@ -53,7 +53,18 @@ type options = {
   prefer_high : bool;  (** try the upper bound value first when branching *)
   warm_start : int array option;
       (** a (claimed) feasible assignment used as initial incumbent; it is
-          checked and silently discarded if infeasible *)
+          checked and silently discarded if infeasible.  Also the source
+          of the search's value hints: branching tries the hinted value
+          first and probing trials target the endpoint the hint
+          disfavours, so the warm start steers the whole trajectory. *)
+  incumbent_start : int array option;
+      (** a (claimed) feasible assignment installed as the initial
+          incumbent when its objective beats [warm_start]'s — bound only:
+          it contributes no value hints and never steers branching or
+          probing.  Use it for a solution that should tighten the initial
+          cutoff without derailing a trajectory tuned to the warm start
+          (e.g. a cross-instance seed next to a same-instance heuristic).
+          Checked and silently discarded if infeasible. *)
   verbose : bool;
   branch_window : int;
       (** dynamic-branching lookahead: the branched variable is the
