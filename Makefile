@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test bench bench-json ci clean
+.PHONY: all build test bench bench-json bench-diff ci clean
 
 all: build
 
@@ -21,13 +21,27 @@ bench-json:
 	ADVBIST_BENCH_BUDGET=2 ADVBIST_BENCH_JSON=$(CURDIR)/BENCH_solver.json \
 		dune exec bench/main.exe -- json
 
-# Fast gate for every change: build, unit tests, and a bench smoke that
-# asserts the solver still proves tseng k=1 optimal at the 2 s budget and
-# that no (circuit, k) row's design area regressed vs the committed
-# BENCH_solver.json, so bounding-strength and warm-start regressions fail
-# CI immediately (~1 min: it re-runs every committed sweep at 2 s/ILP).
-ci: build test
-	ADVBIST_BENCH_BUDGET=2 dune exec bench/main.exe -- smoke
+# Bench regression diff: run the smoke sweep at the committed 2 s budget,
+# write a fresh schema-v3 snapshot to _build/bench_smoke.json, then diff it
+# against the committed BENCH_solver.json.  Exits non-zero when any
+# (circuit, k) row's design area regressed or proven optimality was lost;
+# node-count / gap / time / phase-share drift is reported as warnings.
+# The full report lands in _build/bench_diff.txt.
+bench-diff:
+	ADVBIST_BENCH_BUDGET=2 \
+	ADVBIST_BENCH_JSON_OUT=$(CURDIR)/_build/bench_smoke.json \
+		dune exec bench/main.exe -- smoke
+	ADVBIST_BENCH_DIFF_OUT=$(CURDIR)/_build/bench_diff.txt \
+		dune exec bench/main.exe -- diff \
+			$(CURDIR)/BENCH_solver.json $(CURDIR)/_build/bench_smoke.json
+
+# Fast gate for every change: build, unit tests, then the bench smoke +
+# regression diff above — the smoke asserts the solver still proves tseng
+# k=1 optimal at the 2 s budget and that no (circuit, k) row's design area
+# regressed vs the committed BENCH_solver.json, and the diff report
+# classifies every other drift (~1 min: it re-runs every committed sweep
+# at 2 s/ILP).
+ci: build test bench-diff
 
 clean:
 	dune clean

@@ -5,13 +5,21 @@
      dune exec bench/main.exe -- tables       -- only the table regeneration
      dune exec bench/main.exe -- micro        -- only the Bechamel benches
      dune exec bench/main.exe -- json         -- solver perf -> BENCH_solver.json
+     dune exec bench/main.exe -- smoke        -- CI gate vs the committed snapshot
+     dune exec bench/main.exe -- diff A B     -- regression diff of two snapshots
 
    The ILP budget per instance defaults to 10 s (the paper allowed 24 CPU
    hours per instance on CPLEX 6.0); override with ADVBIST_BENCH_BUDGET
    (seconds).  ADVBIST_JOBS > 1 runs each solve's tree search on that many
    work-stealing domains (the k-sweep itself is sequential so each row can
    seed the next).  Timed-out entries are marked with '*', exactly like
-   the paper's Table 2. *)
+   the paper's Table 2.
+
+   Snapshot plumbing (see Advbist.Bench_snapshot for the schema):
+     ADVBIST_BENCH_JSON      -- json: output path (default BENCH_solver.json)
+     ADVBIST_BENCH_JSON_OUT  -- smoke: also write the freshly measured
+                                sweep as a snapshot here
+     ADVBIST_BENCH_DIFF_OUT  -- diff: also write the report here *)
 
 let budget =
   match Sys.getenv_opt "ADVBIST_BENCH_BUDGET" with
@@ -390,6 +398,68 @@ let dirty_entries ~ignore_path =
     | _ -> []
   with Unix.Unix_error _ | Sys_error _ -> []
 
+(* One full k-sweep per circuit, with solver stats on, assembled into a
+   schema-v3 snapshot (Advbist.Bench_snapshot) — the shared measurement
+   core of the [json] and [smoke] arms. *)
+let run_snapshot ~tag () =
+  let started = Unix.gettimeofday () in
+  let circuits =
+    List.filter_map
+      (fun (name, p) ->
+        Printf.printf "%s: sweeping %s (k = 1..%d, %d jobs)...\n%!" tag name
+          (Dfg.Problem.n_modules p)
+          jobs;
+        let t0 = Unix.gettimeofday () in
+        match Advbist.Synth.sweep ~time_limit:budget ~jobs ~stats:true p with
+        | Error msg ->
+            Printf.printf "%s: %s: %s\n" tag name msg;
+            None
+        | Ok (reference, rows) ->
+            let wall = Unix.gettimeofday () -. t0 in
+            Some
+              {
+                Advbist.Bench_snapshot.circuit = name;
+                reference_area = reference.Advbist.Synth.ref_area;
+                reference_optimal = reference.Advbist.Synth.ref_optimal;
+                wall_s = wall;
+                rows =
+                  List.map
+                    (fun (row : Advbist.Synth.sweep_row) ->
+                      let o = row.Advbist.Synth.outcome in
+                      {
+                        Advbist.Bench_snapshot.k = row.Advbist.Synth.k;
+                        time_s = o.Advbist.Synth.solve_time;
+                        nodes = o.Advbist.Synth.nodes;
+                        optimal = o.Advbist.Synth.optimal;
+                        area = o.Advbist.Synth.area;
+                        overhead_pct = row.Advbist.Synth.overhead_pct;
+                        gap_pct = o.Advbist.Synth.gap_pct;
+                        phase_s =
+                          (match o.Advbist.Synth.stats with
+                          | Some st -> Ilp.Stats.phases st
+                          | None -> []);
+                      })
+                    rows;
+              })
+      Circuits.Suite.all
+  in
+  {
+    Advbist.Bench_snapshot.version = 3;
+    commit = git_commit ();
+    budget_s = budget;
+    jobs;
+    (* what Synth.solver_options actually runs the sweep with *)
+    config =
+      { Advbist.Bench_snapshot.portfolio = false; cuts = false; lp = "root<=1500" };
+    circuits;
+    total_wall_s = Unix.gettimeofday () -. started;
+  }
+
+let write_snapshot snapshot path =
+  let oc = open_out path in
+  output_string oc (Advbist.Bench_snapshot.to_string snapshot);
+  close_out oc
+
 let bench_json () =
   let path =
     Option.value (Sys.getenv_opt "ADVBIST_BENCH_JSON")
@@ -417,118 +487,16 @@ let bench_json () =
         "Commit (or stash) first, or set ADVBIST_BENCH_ALLOW_DIRTY=1 to \
          override.\n%!";
       exit 1);
-  let buf = Buffer.create 4096 in
-  let started = Unix.gettimeofday () in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"advbist-solver-bench/2\",\n";
-  Printf.bprintf buf "  \"commit\": %S,\n" (git_commit ());
-  Printf.bprintf buf "  \"budget_s\": %g,\n" budget;
-  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
-  (* what Synth.solver_options actually runs the sweep with *)
-  Printf.bprintf buf
-    "  \"config\": { \"portfolio\": false, \"cuts\": false, \"lp\": \
-     \"root<=1500\" },\n";
-  Buffer.add_string buf "  \"circuits\": [";
-  let first_circuit = ref true in
-  List.iter
-    (fun (name, p) ->
-      Printf.printf "json: sweeping %s (k = 1..%d, %d jobs)...\n%!" name
-        (Dfg.Problem.n_modules p)
-        jobs;
-      let t0 = Unix.gettimeofday () in
-      match Advbist.Synth.sweep ~time_limit:budget ~jobs p with
-      | Error msg -> Printf.printf "json: %s: %s\n" name msg
-      | Ok (reference, rows) ->
-          let wall = Unix.gettimeofday () -. t0 in
-          if not !first_circuit then Buffer.add_char buf ',';
-          first_circuit := false;
-          Printf.bprintf buf
-            "\n    { \"circuit\": %S, \"reference_area\": %d, \
-             \"reference_optimal\": %b, \"wall_s\": %.3f,\n      \"rows\": ["
-            name reference.Advbist.Synth.ref_area
-            reference.Advbist.Synth.ref_optimal wall;
-          List.iteri
-            (fun i (row : Advbist.Synth.sweep_row) ->
-              if i > 0 then Buffer.add_char buf ',';
-              Printf.bprintf buf
-                "\n        { \"k\": %d, \"time_s\": %.3f, \"nodes\": %d, \
-                 \"optimal\": %b, \"area\": %d, \"overhead_pct\": %.2f, \
-                 \"gap_pct\": %.2f }"
-                row.Advbist.Synth.k
-                row.Advbist.Synth.outcome.Advbist.Synth.solve_time
-                row.Advbist.Synth.outcome.Advbist.Synth.nodes
-                row.Advbist.Synth.outcome.Advbist.Synth.optimal
-                row.Advbist.Synth.outcome.Advbist.Synth.area
-                row.Advbist.Synth.overhead_pct
-                row.Advbist.Synth.outcome.Advbist.Synth.gap_pct)
-            rows;
-          Buffer.add_string buf " ] }")
-    Circuits.Suite.all;
-  Printf.bprintf buf "\n  ],\n  \"total_wall_s\": %.3f\n}\n"
-    (Unix.gettimeofday () -. started);
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  write_snapshot (run_snapshot ~tag:"json" ()) path;
   Printf.printf "json: wrote %s\n" path
-
-(* Minimal reader for the snapshot this harness itself writes: the
-   (circuit, k, area) triples, in file order.  Relies on the fixed key
-   order bench_json emits ("circuit" opens a block, "k" precedes "area"
-   within a row) — not a general JSON parser. *)
-let parse_bench_areas path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  let len = String.length s in
-  let starts_with p i =
-    i + String.length p <= len && String.sub s i (String.length p) = p
-  in
-  let int_after i =
-    let j = ref i in
-    while !j < len && s.[!j] = ' ' do
-      incr j
-    done;
-    let start = !j in
-    while
-      !j < len && (match s.[!j] with '0' .. '9' | '-' -> true | _ -> false)
-    do
-      incr j
-    done;
-    (int_of_string (String.sub s start (!j - start)), !j)
-  in
-  let rows = ref [] in
-  let circuit = ref "" in
-  let last_k = ref 0 in
-  let i = ref 0 in
-  while !i < len do
-    if starts_with "\"circuit\": \"" !i then begin
-      let start = !i + 12 in
-      let j = ref start in
-      while !j < len && s.[!j] <> '"' do
-        incr j
-      done;
-      circuit := String.sub s start (!j - start);
-      i := !j
-    end
-    else if starts_with "\"k\": " !i then begin
-      let v, j = int_after (!i + 5) in
-      last_k := v;
-      i := j
-    end
-    else if starts_with "\"area\": " !i then begin
-      let v, j = int_after (!i + 8) in
-      rows := (!circuit, !last_k, v) :: !rows;
-      i := j
-    end
-    else incr i
-  done;
-  List.rev !rows
 
 (* CI smoke: the canonical provable instance (tseng k=1) must still prove
    optimality inside the budget, and no (circuit, k) row may produce a
    worse design area than the committed BENCH_solver.json snapshot.  Exit
    status 1 on any regression, so a bounding-strength or warm-start
-   regression fails `make ci` fast. *)
+   regression fails `make ci` fast.  With ADVBIST_BENCH_JSON_OUT set the
+   freshly measured sweep is also written as a snapshot — `make
+   bench-diff` feeds that to the [diff] arm for the full comparison. *)
 let smoke () =
   let failures = ref 0 in
   (match Circuits.Suite.find "tseng" with
@@ -550,60 +518,110 @@ let smoke () =
             incr failures
           end));
   (* per-row area regression gate vs the committed snapshot *)
-  let snapshot = "BENCH_solver.json" in
-  if not (Sys.file_exists snapshot) then
-    Printf.printf "smoke: no %s; skipping area-regression gate\n" snapshot
+  let snapshot_path = "BENCH_solver.json" in
+  let json_out = Sys.getenv_opt "ADVBIST_BENCH_JSON_OUT" in
+  let have_baseline = Sys.file_exists snapshot_path in
+  if not have_baseline && json_out = None then
+    Printf.printf "smoke: no %s; skipping area-regression gate\n" snapshot_path
   else begin
-    let committed = parse_bench_areas snapshot in
-    let by_circuit = Hashtbl.create 8 in
-    List.iter
-      (fun (c, k, area) ->
-        let rows = try Hashtbl.find by_circuit c with Not_found -> [] in
-        Hashtbl.replace by_circuit c ((k, area) :: rows))
-      committed;
-    List.iter
-      (fun (name, p) ->
-        match Hashtbl.find_opt by_circuit name with
-        | None -> ()
-        | Some rows -> (
-            match Advbist.Synth.sweep ~time_limit:budget ~jobs p with
-            | Error msg ->
-                Printf.eprintf "smoke: %s sweep failed: %s\n" name msg;
-                incr failures
-            | Ok (_, current) ->
-                List.iter
-                  (fun (k, committed_area) ->
-                    match
-                      List.find_opt
-                        (fun (r : Advbist.Synth.sweep_row) -> r.Advbist.Synth.k = k)
-                        current
-                    with
-                    | None ->
-                        Printf.eprintf "smoke: %s k=%d row disappeared\n" name k;
-                        incr failures
-                    | Some r ->
-                        let area =
-                          r.Advbist.Synth.outcome.Advbist.Synth.area
-                        in
-                        if area > committed_area then begin
-                          Printf.eprintf
-                            "smoke: AREA REGRESSION %s k=%d: %d > committed %d\n"
-                            name k area committed_area;
+    let current = run_snapshot ~tag:"smoke" () in
+    (match json_out with
+    | Some path ->
+        write_snapshot current path;
+        Printf.printf "smoke: wrote %s\n" path
+    | None -> ());
+    if have_baseline then
+      match Advbist.Bench_snapshot.of_file snapshot_path with
+      | Error msg ->
+          Printf.eprintf "smoke: cannot parse %s: %s\n" snapshot_path msg;
+          incr failures
+      | Ok baseline ->
+          List.iter
+            (fun (bc : Advbist.Bench_snapshot.circuit) ->
+              match
+                List.find_opt
+                  (fun (cc : Advbist.Bench_snapshot.circuit) ->
+                    cc.Advbist.Bench_snapshot.circuit
+                    = bc.Advbist.Bench_snapshot.circuit)
+                  current.Advbist.Bench_snapshot.circuits
+              with
+              | None ->
+                  Printf.eprintf "smoke: %s sweep failed or disappeared\n"
+                    bc.Advbist.Bench_snapshot.circuit;
+                  incr failures
+              | Some cc ->
+                  List.iter
+                    (fun (br : Advbist.Bench_snapshot.row) ->
+                      match
+                        List.find_opt
+                          (fun (cr : Advbist.Bench_snapshot.row) ->
+                            cr.Advbist.Bench_snapshot.k
+                            = br.Advbist.Bench_snapshot.k)
+                          cc.Advbist.Bench_snapshot.rows
+                      with
+                      | None ->
+                          Printf.eprintf "smoke: %s k=%d row disappeared\n"
+                            bc.Advbist.Bench_snapshot.circuit
+                            br.Advbist.Bench_snapshot.k;
                           incr failures
-                        end)
-                  rows;
-                Printf.printf "smoke: %s areas no worse than snapshot\n%!" name))
-      Circuits.Suite.all
+                      | Some cr ->
+                          if
+                            cr.Advbist.Bench_snapshot.area
+                            > br.Advbist.Bench_snapshot.area
+                          then begin
+                            Printf.eprintf
+                              "smoke: AREA REGRESSION %s k=%d: %d > committed \
+                               %d\n"
+                              bc.Advbist.Bench_snapshot.circuit
+                              br.Advbist.Bench_snapshot.k
+                              cr.Advbist.Bench_snapshot.area
+                              br.Advbist.Bench_snapshot.area;
+                            incr failures
+                          end)
+                    bc.Advbist.Bench_snapshot.rows;
+                  Printf.printf "smoke: %s areas no worse than snapshot\n%!"
+                    bc.Advbist.Bench_snapshot.circuit)
+            baseline.Advbist.Bench_snapshot.circuits
   end;
   if !failures > 0 then begin
     Printf.eprintf "smoke: FAILED (%d regression(s))\n" !failures;
     exit 1
   end
 
+(* Snapshot regression diff: FAIL on area/optimality/coverage losses,
+   warn on node-count, gap, time and phase-share drift. *)
+let diff_cmd () =
+  if Array.length Sys.argv < 4 then begin
+    prerr_endline "usage: main.exe diff BASELINE.json CURRENT.json";
+    exit 2
+  end;
+  let load path =
+    match Advbist.Bench_snapshot.of_file path with
+    | Ok t -> t
+    | Error msg ->
+        Printf.eprintf "diff: %s: %s\n" path msg;
+        exit 2
+  in
+  let baseline = load Sys.argv.(2) in
+  let current = load Sys.argv.(3) in
+  let findings = Advbist.Bench_snapshot.diff ~baseline ~current in
+  let report =
+    Advbist.Bench_snapshot.render_report ~baseline ~current findings
+  in
+  print_string report;
+  (match Sys.getenv_opt "ADVBIST_BENCH_DIFF_OUT" with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc report;
+      close_out oc
+  | None -> ());
+  if Advbist.Bench_snapshot.has_failures findings then exit 1
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "smoke" then smoke ();
   if what = "json" then bench_json ();
+  if what = "diff" then diff_cmd ();
   if what = "all" || what = "tables" then begin
     table1 ();
     table2 ();

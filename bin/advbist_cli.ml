@@ -141,6 +141,26 @@ let lp_arg =
     & info [ "lp" ] ~docv:"FILE"
         ~doc:"Export the ILP model in CPLEX LP format (synth only).")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect solver telemetry (per-phase timers, propagation/LP/\
+           probing counters, incumbent curve, depth histogram) and print \
+           the table to stderr; sweep prints the aggregate over every \
+           solve.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured solver search trace (nodes, prunes, \
+           incumbents, cut rounds, subtree spawns/steals) to $(docv) as \
+           JSON lines.")
+
 let format_arg =
   Arg.(
     value
@@ -211,7 +231,8 @@ let ref_cmd =
 (* -- synth --------------------------------------------------------------- *)
 
 let synth_cmd =
-  let run circuit file time_limit k meth verilog lp portfolio jobs sym steal =
+  let run circuit file time_limit k meth verilog lp portfolio jobs sym steal
+      stats trace_file =
     let p = or_die (load ~circuit ~file) in
     let k = Option.value k ~default:(Dfg.Problem.n_modules p) in
     Option.iter
@@ -220,14 +241,21 @@ let synth_cmd =
         Ilp.Lp_format.to_file path e.Advbist.Encoding.model;
         Format.printf "wrote %s@." path)
       lp;
+    let trace = Option.map Ilp.Trace.file trace_file in
     let plan, tag =
       match meth with
       | `Advbist ->
           let o =
             or_die
               (Advbist.Synth.synthesize ~time_limit ~portfolio ~jobs ~sym
-                 ~steal p ~k)
+                 ~steal ~stats ?trace p ~k)
           in
+          (match o.Advbist.Synth.stats with
+          | Some st ->
+              Format.eprintf "%a@."
+                (Ilp.Stats.pp ~time_s:o.Advbist.Synth.solve_time)
+                st
+          | None -> ());
           ( o.Advbist.Synth.plan,
             if o.Advbist.Synth.optimal then "optimal"
             else
@@ -239,6 +267,7 @@ let synth_cmd =
       | `Ralloc -> (or_die (Baselines.Ralloc.synthesize p ~k), "heuristic")
       | `Bits -> (or_die (Baselines.Bits.synthesize p ~k), "heuristic")
     in
+    Option.iter Ilp.Trace.close trace;
     Format.printf "%a@.(%s)@." Bist.Plan.pp plan tag;
     (match Advbist.Synth.reference ~time_limit p with
     | Ok r ->
@@ -255,16 +284,19 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a built-in self-testable data path.")
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ k_arg $ method_arg
-      $ verilog_arg $ lp_arg $ portfolio_arg $ jobs_arg $ sym_arg $ steal_arg)
+      $ verilog_arg $ lp_arg $ portfolio_arg $ jobs_arg $ sym_arg $ steal_arg
+      $ stats_arg $ trace_arg)
 
 (* -- sweep --------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run circuit file time_limit fmt jobs sym steal =
+  let run circuit file time_limit fmt jobs sym steal stats trace_file =
     let p = or_die (load ~circuit ~file) in
+    let trace = Option.map Ilp.Trace.file trace_file in
     let reference, rows =
-      or_die (Advbist.Synth.sweep ~time_limit ~jobs ~sym ~steal p)
+      or_die (Advbist.Synth.sweep ~time_limit ~jobs ~sym ~steal ~stats ?trace p)
     in
+    Option.iter Ilp.Trace.close trace;
     Format.printf "reference area %d%s@." reference.Advbist.Synth.ref_area
       (if reference.Advbist.Synth.ref_optimal then "" else " *");
     List.iter
@@ -275,6 +307,10 @@ let sweep_cmd =
             o.Advbist.Synth.gap_pct o.Advbist.Synth.orbits
             o.Advbist.Synth.stolen)
       rows;
+    (* the aggregate over every solve of the sweep, reference included *)
+    (match Advbist.Synth.sweep_stats ~reference rows with
+    | Some st -> Format.eprintf "%a@." (Ilp.Stats.pp ?time_s:None) st
+    | None -> ());
     print_string
       (Advbist.Report.render_sweep fmt (Advbist.Report.sweep_points rows))
   in
@@ -283,7 +319,7 @@ let sweep_cmd =
        ~doc:"Synthesize one ADVBIST design per k-test session (Table 2).")
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ format_arg
-      $ jobs_arg $ sym_arg $ steal_arg)
+      $ jobs_arg $ sym_arg $ steal_arg $ stats_arg $ trace_arg)
 
 (* -- compare ------------------------------------------------------------- *)
 

@@ -66,6 +66,24 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Worker domains for the parallel tree search (with --steal on).")
 
+let stats_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect solver telemetry (per-phase timers, propagation/LP/\
+           probing counters, incumbent curve, depth histogram) and print \
+           the table to stderr after the solve.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured search trace (nodes, prunes, incumbents, \
+           cut rounds, subtree spawns/steals) to $(docv) as JSON lines.")
+
 let load path =
   match Ilp.Lp_parse.of_file path with
   | Ok p -> p
@@ -74,11 +92,20 @@ let load path =
       exit 1
 
 let solve_cmd =
-  let run path time_limit verbose portfolio cuts sym steal jobs =
+  let run path time_limit verbose portfolio cuts sym steal jobs stats trace_file =
     let { Ilp.Lp_parse.model; negated } = load path in
     Printf.printf "%s\n" (Ilp.Model.stats model);
+    let trace = Option.map Ilp.Trace.file trace_file in
     let options =
-      { Ilp.Solver.default with Ilp.Solver.time_limit; verbose; cuts; sym }
+      {
+        Ilp.Solver.default with
+        Ilp.Solver.time_limit;
+        verbose;
+        cuts;
+        sym;
+        stats;
+        trace;
+      }
     in
     let r =
       if portfolio then begin
@@ -94,6 +121,13 @@ let solve_cmd =
         Ilp.Solver.solve_parallel ~options ~jobs model
       else Ilp.Solver.solve ~options model
     in
+    Option.iter Ilp.Trace.close trace;
+    (match r.Ilp.Solver.stats with
+    | Some st ->
+        Format.eprintf "%a@."
+          (Ilp.Stats.pp ~time_s:r.Ilp.Solver.time_s)
+          st
+    | None -> ());
     let sign v = if negated then -v else v in
     let limit_detail () =
       (* On a limit hit, report how much structure the search exploited. *)
@@ -135,7 +169,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve an integer program to optimality.")
     Term.(
       const run $ file_arg $ time_limit_arg $ verbose_arg $ portfolio_arg
-      $ cuts_arg $ sym_arg $ steal_arg $ jobs_arg)
+      $ cuts_arg $ sym_arg $ steal_arg $ jobs_arg $ stats_flag_arg
+      $ trace_arg)
 
 let relax_cmd =
   let run path =

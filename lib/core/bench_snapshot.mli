@@ -1,0 +1,82 @@
+(** Solver bench snapshots: the on-disk JSON schema behind
+    [BENCH_solver.json], and regression diffing between two snapshots.
+
+    The writer emits schema version 3 ([advbist-solver-bench/3]), which
+    extends version 2 with an optional per-row [phase_s] object of
+    solver phase timings (as reported by {!Ilp.Stats.phases}).  The
+    parser reads versions 2 and 3; version-2 rows parse with an empty
+    [phase_s].  Parsing is restricted to the subset of JSON these
+    snapshots use — it is a file format, not a general JSON library. *)
+
+type row = {
+  k : int;
+  time_s : float;
+  nodes : int;
+  optimal : bool;
+  area : int;
+  overhead_pct : float;
+  gap_pct : float;
+  phase_s : (string * float) list;
+      (** per-phase seconds, in emission order; [[]] when absent (v2) *)
+}
+
+type circuit = {
+  circuit : string;
+  reference_area : int;
+  reference_optimal : bool;
+  wall_s : float;
+  rows : row list;
+}
+
+type config = { portfolio : bool; cuts : bool; lp : string }
+
+type t = {
+  version : int;  (** schema version this snapshot was parsed from / 3 *)
+  commit : string;
+  budget_s : float;
+  jobs : int;
+  config : config;
+  circuits : circuit list;
+  total_wall_s : float;
+}
+
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val to_string : t -> string
+(** Rendered as schema version 3, regardless of [version]; parsing the
+    result back and rendering again is a fixpoint. *)
+
+(** {2 Regression diffing} *)
+
+type severity = Fail | Warn
+
+type finding = {
+  severity : severity;
+  circuit : string;
+  k : int option;  (** [None] for circuit-level findings *)
+  what : string;
+}
+
+val diff : baseline:t -> current:t -> finding list
+(** Row-by-row comparison, keyed on (circuit, k).
+
+    [Fail]: a row's design area increased, a row lost proven optimality
+    (optimal [true] -> [false]), or a baseline circuit/row is missing
+    from [current].
+
+    [Warn]: node count moved more than 20% in either direction (only on
+    rows both snapshots prove optimal — on a budget-limited row the
+    count is machine throughput, not tree size), the
+    optimality gap grew by more than 2 points, a row's solve time grew
+    by more than 20% (and at least 0.1 s), a phase's share of the solve
+    time shifted by more than 10 points (when both snapshots carry
+    phase timings), or [current] has rows the baseline lacks.
+
+    Findings are ordered circuit-by-circuit with failures first. *)
+
+val has_failures : finding list -> bool
+
+val render_report : baseline:t -> current:t -> finding list -> string
+(** Human-readable report: header with both snapshots' commit/budget,
+    one line per finding, and a PASS/FAIL summary line. *)

@@ -7,6 +7,7 @@ type outcome = {
   gap_pct : float;
   orbits : int;
   stolen : int;
+  stats : Ilp.Stats.t option;
 }
 
 type reference = {
@@ -14,6 +15,7 @@ type reference = {
   ref_area : int;
   ref_optimal : bool;
   ref_time : float;
+  ref_stats : Ilp.Stats.t option;
 }
 
 let ( let* ) r f = Result.bind r f
@@ -73,11 +75,14 @@ let lp_mode model =
   if Ilp.Model.n_constraints model <= 1500 then Ilp.Solver.Lp_root
   else Ilp.Solver.Lp_never
 
-let solver_options ?time_limit ?node_limit ~sym encoding warm =
+let solver_options ?time_limit ?node_limit ?(stats = false) ?trace ~sym
+    encoding warm =
   {
     Ilp.Solver.default with
     Ilp.Solver.time_limit;
     node_limit;
+    stats;
+    trace;
     lp = lp_mode encoding.Encoding.model;
     (* The BIST encodings' LP relaxation is far weaker than cutoff-driven
        propagation (the integer rounding in the bound tightening does the
@@ -108,21 +113,33 @@ let run_solver ~portfolio ~jobs ~steal options model =
     Ilp.Solver.solve_parallel ~options ~jobs model
   else Ilp.Solver.solve ~options model
 
+(* Presolve runs here, outside the solver entry points, so its wall clock
+   is stamped into the solve's stats record after the fact — the phase
+   table then accounts for the whole pipeline, not just the search. *)
+let stamp_presolve (r : Ilp.Solver.outcome) presolve_s =
+  match r.Ilp.Solver.stats with
+  | Some st -> st.Ilp.Stats.presolve_s <- st.Ilp.Stats.presolve_s +. presolve_s
+  | None -> ()
+
 let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    ?(jobs = 1) ?(sym = true) ?(steal = true) (p : Dfg.Problem.t) =
+    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace
+    (p : Dfg.Problem.t) =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build_reference ?symmetry p ~n_regs in
   let* d0 = Heuristic.netlist p in
   let* d0 = align_to_clique p d0 in
   let warm = Result.to_option (Encoding.vector_of_netlist e d0) in
-  let options = solver_options ?time_limit ?node_limit ~sym e warm in
+  let options = solver_options ?time_limit ?node_limit ?stats ?trace ~sym e warm in
   (* presolve keeps variable indices, so decoding solutions still works *)
-  let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
+  let t_pre = Unix.gettimeofday () in
+  let model, _pstats = Ilp.Presolve.strengthen e.Encoding.model in
+  let presolve_s = Unix.gettimeofday () -. t_pre in
   (* LP bounding is sized on the model the solver actually sees: presolve
      typically halves the row count, pulling mid-size encodings under the
      basis-inverse budget. *)
   let options = { options with Ilp.Solver.lp = lp_mode model } in
   let r = run_solver ~portfolio ~jobs ~steal options model in
+  stamp_presolve r presolve_s;
   match r.Ilp.Solver.solution with
   | None -> Error "reference synthesis found no data path"
   | Some x ->
@@ -133,10 +150,12 @@ let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
           ref_area = Datapath.Netlist.reference_area netlist;
           ref_optimal = r.Ilp.Solver.status = Ilp.Solver.Optimal;
           ref_time = r.Ilp.Solver.time_s;
+          ref_stats = r.Ilp.Solver.stats;
         }
 
 let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    ?(jobs = 1) ?(sym = true) ?(steal = true) ?seed (p : Dfg.Problem.t) ~k =
+    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace ?seed
+    (p : Dfg.Problem.t) ~k =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build ?symmetry p ~n_regs ~k in
   (* Two warm-start candidates: the constructive heuristic's data path,
@@ -174,15 +193,20 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
     | Some h, s -> (Some h, s)
     | None, s -> (s, None)
   in
-  let options = solver_options ?time_limit ?node_limit ~sym e warm in
+  let options =
+    solver_options ?time_limit ?node_limit ?stats ?trace ~sym e warm
+  in
   let options = { options with Ilp.Solver.incumbent_start = incumbent } in
   (* presolve keeps variable indices, so decoding solutions still works *)
-  let model, _stats = Ilp.Presolve.strengthen e.Encoding.model in
+  let t_pre = Unix.gettimeofday () in
+  let model, _pstats = Ilp.Presolve.strengthen e.Encoding.model in
+  let presolve_s = Unix.gettimeofday () -. t_pre in
   (* LP bounding is sized on the model the solver actually sees: presolve
      typically halves the row count, pulling mid-size encodings under the
      basis-inverse budget. *)
   let options = { options with Ilp.Solver.lp = lp_mode model } in
   let r = run_solver ~portfolio ~jobs ~steal options model in
+  stamp_presolve r presolve_s;
   match r.Ilp.Solver.solution with
   | None ->
       Error
@@ -224,14 +248,16 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
                   ~base_area:e.Encoding.base_area ~area r;
               orbits = r.Ilp.Solver.orbits;
               stolen = r.Ilp.Solver.stolen;
+              stats = r.Ilp.Solver.stats;
             })
 
 type sweep_row = { k : int; outcome : outcome; overhead_pct : float }
 
 let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
-    ?(steal = true) p =
+    ?(steal = true) ?stats ?trace p =
   let* reference =
-    reference ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal p
+    reference ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal ?stats
+      ?trace p
   in
   let n = Dfg.Problem.n_modules p in
   (* The sweep is sequential in k so each instance can be seeded with the
@@ -244,7 +270,7 @@ let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
     else
       let* outcome =
         synthesize ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal
-          ~seed p ~k
+          ?stats ?trace ~seed p ~k
       in
       let overhead_pct =
         Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area
@@ -254,3 +280,14 @@ let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
   in
   let* rows = loop 1 reference.ref_netlist [] in
   Ok (reference, rows)
+
+(* Aggregate telemetry over a whole sweep: the merge of every row's stats
+   record, plus the reference solve's when supplied. *)
+let sweep_stats ?reference rows =
+  let all =
+    Option.to_list (Option.bind reference (fun r -> r.ref_stats))
+    @ List.filter_map (fun row -> row.outcome.stats) rows
+  in
+  match all with
+  | [] -> None
+  | s :: rest -> Some (List.fold_left Ilp.Stats.merge s rest)

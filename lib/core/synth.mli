@@ -24,6 +24,10 @@ type outcome = {
           {!Encoding.base_area} *)
   orbits : int;  (** symmetry orbits the solver broke (orbital fixing) *)
   stolen : int;  (** subtrees stolen across domains ([jobs >= 2] only) *)
+  stats : Ilp.Stats.t option;
+      (** solver telemetry, present iff the solve ran with [stats];
+          [presolve_s] covers the {!Ilp.Presolve} pass this module runs
+          before handing the model to the solver *)
 }
 
 type reference = {
@@ -31,11 +35,13 @@ type reference = {
   ref_area : int;
   ref_optimal : bool;
   ref_time : float;
+  ref_stats : Ilp.Stats.t option;  (** as [outcome.stats] *)
 }
 
 val reference :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
   ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
+  ?stats:bool -> ?trace:Ilp.Trace.sink ->
   Dfg.Problem.t ->
   (reference, string) result
 (** Area-optimal non-BIST data path (registers all plain + minimal mux
@@ -50,11 +56,16 @@ val reference :
 val synthesize :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
   ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
+  ?stats:bool -> ?trace:Ilp.Trace.sink ->
   ?seed:Datapath.Netlist.t -> Dfg.Problem.t -> k:int ->
   (outcome, string) result
 (** [portfolio] races diverse solver configurations with a shared
     incumbent bound instead of one branch-and-bound run; same optima,
     often less wall-clock on hard instances.  Default false.
+
+    [stats] (default false) collects solver telemetry into
+    [outcome.stats]; [trace] installs a structured event sink
+    ({!Ilp.Trace}) for the solve.
 
     [sym], [jobs] and [steal] as in {!reference}.  [seed] is an
     already-synthesized data path (typically the previous k's design, or
@@ -76,7 +87,8 @@ type sweep_row = {
 
 val sweep :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool -> ?jobs:int ->
-  ?sym:bool -> ?steal:bool -> Dfg.Problem.t ->
+  ?sym:bool -> ?steal:bool -> ?stats:bool -> ?trace:Ilp.Trace.sink ->
+  Dfg.Problem.t ->
   (reference * sweep_row list, string) result
 (** One design per k-test session, k = 1 .. N (N = number of modules) —
     Table 2 of the paper.  [time_limit] and [node_limit] apply per k;
@@ -90,4 +102,11 @@ val sweep :
     longer farms rows out; it parallelizes each individual solve's tree
     search with work stealing ({!Ilp.Solver.solve_parallel}), which keeps
     the node-limited results deterministic: any [jobs] returns the same
-    status, objective and solution. *)
+    status, objective and solution.
+
+    [stats] and [trace] apply to every solve of the sweep (reference
+    included); aggregate the rows with {!sweep_stats}. *)
+
+val sweep_stats : ?reference:reference -> sweep_row list -> Ilp.Stats.t option
+(** {!Ilp.Stats.merge} over every row's stats record (plus the reference
+    solve's when given); [None] when no solve collected stats. *)

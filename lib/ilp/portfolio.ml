@@ -57,6 +57,13 @@ let combine ~shared_final outcomes =
       (fun acc (o : Solver.outcome) -> acc + o.Solver.stolen)
       0 outcomes
   in
+  (* One merged record over every member, not just the winner's: the race
+     spends all members' work, so the telemetry should account for it. *)
+  let stats =
+    match List.filter_map (fun (o : Solver.outcome) -> o.Solver.stats) outcomes with
+    | [] -> None
+    | s :: rest -> Some (List.fold_left Stats.merge s rest)
+  in
   match !best with
   | Some (i, o, obj) ->
       if any_complete then
@@ -68,6 +75,7 @@ let combine ~shared_final outcomes =
             time_s = wall;
             orbits;
             stolen;
+            stats;
           },
           i )
       else
@@ -79,6 +87,7 @@ let combine ~shared_final outcomes =
             time_s = wall;
             orbits;
             stolen;
+            stats;
           },
           i )
   | None ->
@@ -99,6 +108,7 @@ let combine ~shared_final outcomes =
             time_s = wall;
             orbits;
             stolen;
+            stats;
           },
           winner )
       else
@@ -111,10 +121,12 @@ let combine ~shared_final outcomes =
             time_s = wall;
             orbits;
             stolen;
+            stats;
           },
           winner )
 
 let solve ?jobs ~configs model =
+  let started = Unix.gettimeofday () in
   match configs with
   | [] -> invalid_arg "Ilp.Portfolio.solve: empty configuration list"
   | [ o ] ->
@@ -162,5 +174,11 @@ let solve ?jobs ~configs model =
       in
       let outcome, winner =
         combine ~shared_final:(Atomic.get shared) outcomes
+      in
+      (* [time_s] is the wall clock of the whole call (shared cut loop
+         included), matching the contract of the solver entry points —
+         not the slowest member's own clock. *)
+      let outcome =
+        { outcome with Solver.time_s = Unix.gettimeofday () -. started }
       in
       { outcome; winner; outcomes }

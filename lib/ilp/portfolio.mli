@@ -17,7 +17,9 @@
 type result = {
   outcome : Solver.outcome;
       (** the combined verdict: best solution over all members, [nodes]
-          summed, [time_s] = wall-clock of the whole race *)
+          summed, [time_s] = wall-clock of the whole call (shared cut
+          loop included), [stats] = {!Stats.merge} over every member
+          that collected any *)
   winner : int;  (** index into [configs] of the member whose solution (or
                      completion) decided the verdict *)
   outcomes : Solver.outcome list;  (** per-member outcomes, in config order *)

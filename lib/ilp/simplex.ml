@@ -491,6 +491,7 @@ type instance = {
   inst_n : int;  (* structural variables *)
   mutable st : state;
   mutable pivots : int;  (* dual pivots since the last refactorization *)
+  mutable total_pivots : int;  (* dual pivots over the instance's lifetime *)
   mutable d : float array;  (* reduced costs by column *)
   mutable alpha : float array;  (* pivot-row scratch by column *)
 }
@@ -574,6 +575,7 @@ let instance_of_problem (p : problem) =
         inst_n = n;
         st;
         pivots = 0;
+        total_pivots = 0;
         d = Array.copy cost;
         alpha = Array.make ncols 0.0;
       }
@@ -583,6 +585,7 @@ let instance_of_model ?lower ?upper model =
   instance_of_problem (problem_of_model ?lower ?upper model)
 
 let n_rows t = t.st.m
+let pivots t = t.total_pivots
 
 (* Bound changes never touch the basis or the reduced costs; only the
    resting value of a nonbasic column moves, which shifts the basic
@@ -870,6 +873,7 @@ let resolve ?(max_iters = 256) t =
             t.d.(j) <- 0.0;
             t.d.(b) <- -.theta;
             t.pivots <- t.pivots + 1;
+            t.total_pivots <- t.total_pivots + 1;
             (* periodic refresh of the incrementally-updated state; any
                drift-induced status flip invalidates x_B *)
             if t.pivots mod refactor_period = 0 || !iters mod 64 = 0 then begin

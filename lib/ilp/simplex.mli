@@ -80,6 +80,10 @@ val dual_bound : instance -> float option
 
 val n_rows : instance -> int
 
+val pivots : instance -> int
+(** Cumulative dual pivots over the instance's lifetime (unaffected by
+    refactorization and {!restore}). *)
+
 type snapshot
 (** A saved basis (status + basic set), restorable after bound changes. *)
 

@@ -9,6 +9,7 @@ type outcome = {
   time_s : float;
   orbits : int;
   stolen : int;
+  stats : Stats.t option;
 }
 
 type lp_mode = Lp_never | Lp_root | Lp_depth of int
@@ -28,6 +29,8 @@ type options = {
   shared_incumbent : int Atomic.t option;
   sym : bool;
   orbits : Symmetry.orbit list;
+  stats : bool;
+  trace : Trace.sink option;
 }
 
 let default =
@@ -46,6 +49,8 @@ let default =
     shared_incumbent = None;
     sym = true;
     orbits = [];
+    stats = false;
+    trace = None;
   }
 
 (* Internal row: `sum coefs.(i) * vars.(i) <= rhs`.  Eq model rows are
@@ -131,6 +136,8 @@ type search = {
   act : float array;  (* conflict-driven branching activity (VSIDS-style) *)
   mutable act_inc : float;
   value_hint : int array option;
+  stats : Stats.t option;
+      (* telemetry; None costs one branch per instrumented site *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -295,11 +302,17 @@ let orbit_pass s ~touch =
       if s.ub.(a) < s.lb.(b) then ok := false
       else begin
         set_ub s b s.ub.(a);
+        (match s.stats with
+        | Some st -> st.Stats.orbit_fixings <- st.Stats.orbit_fixings + 1
+        | None -> ());
         touch b
       end
     end;
     if !ok && s.lb.(a) < s.lb.(b) then begin
       set_lb s a s.lb.(b);
+      (match s.stats with
+      | Some st -> st.Stats.orbit_fixings <- st.Stats.orbit_fixings + 1
+      | None -> ());
       touch a
     end
   in
@@ -348,6 +361,9 @@ let orbit_pass s ~touch =
    trials, where a missed deduction only means a missed fixing, never a
    wrong one (callers undo the trial bounds either way). *)
 let propagate ?(budget = max_int) s seeds =
+  (match s.stats with
+  | Some st -> st.Stats.prop_fixpoints <- st.Stats.prop_fixpoints + 1
+  | None -> ());
   (* Scratch reuse: probing calls this hundreds of times per node, so the
      worklist queue and its membership stamps live in the search record —
      a fresh generation number invalidates all stamps in O(1). *)
@@ -403,6 +419,10 @@ let propagate ?(budget = max_int) s seeds =
       else if not (Queue.is_empty pending) then fixpoint ()
   in
   fixpoint ();
+  (match s.stats with
+  | Some st when not !ok ->
+      st.Stats.prop_conflicts <- st.Stats.prop_conflicts + 1
+  | Some _ | None -> ());
   !ok
 
 (* --- bounding ---------------------------------------------------------- *)
@@ -425,7 +445,7 @@ type node_bound = Bound of int | Bound_infeasible | Bound_none
    same basis at the next node. *)
 let node_lp_iters = 40
 
-let lp_bound s =
+let lp_bound_core s =
   match s.lp_st with
   | Some st when st.fails < 50 -> begin
       let inst = st.inst in
@@ -433,21 +453,33 @@ let lp_bound s =
         Simplex.set_bounds inst v ~lo:(float_of_int s.lb.(v))
           ~up:(float_of_int s.ub.(v))
       done;
+      (match s.stats with
+      | Some t -> t.Stats.lp_resolves <- t.Stats.lp_resolves + 1
+      | None -> ());
       match Simplex.resolve ~max_iters:node_lp_iters inst with
       | Simplex.Optimal { objective; _ } ->
           st.fails <- 0;
           st.last_obj <- objective;
           st.at_optimum <- true;
+          (match s.stats with
+          | Some t -> t.Stats.lp_warm <- t.Stats.lp_warm + 1
+          | None -> ());
           Bound (safe_bound objective)
       | Simplex.Infeasible ->
           st.fails <- 0;
           st.at_optimum <- false;
+          (match s.stats with
+          | Some t -> t.Stats.lp_infeasible <- t.Stats.lp_infeasible + 1
+          | None -> ());
           Bound_infeasible
       | Simplex.Iteration_limit | Simplex.Unbounded -> (
           st.at_optimum <- false;
           match Simplex.dual_bound inst with
           | Some z ->
               st.fails <- 0;
+              (match s.stats with
+              | Some t -> t.Stats.lp_fallbacks <- t.Stats.lp_fallbacks + 1
+              | None -> ());
               Bound (safe_bound z)
           | None ->
               st.fails <- st.fails + 1;
@@ -458,11 +490,29 @@ let lp_bound s =
   | Some _ -> Bound_none (* engine written off after repeated failures *)
   | None -> begin
       (* cold fallback: two-phase solve from scratch *)
+      (match s.stats with
+      | Some t ->
+          t.Stats.lp_resolves <- t.Stats.lp_resolves + 1;
+          t.Stats.lp_cold <- t.Stats.lp_cold + 1
+      | None -> ());
       match Simplex.relax ~lower:s.lb ~upper:s.ub s.model with
       | Simplex.Optimal { objective; _ } -> Bound (safe_bound objective)
-      | Simplex.Infeasible -> Bound_infeasible
+      | Simplex.Infeasible ->
+          (match s.stats with
+          | Some t -> t.Stats.lp_infeasible <- t.Stats.lp_infeasible + 1
+          | None -> ());
+          Bound_infeasible
       | Simplex.Unbounded | Simplex.Iteration_limit -> Bound_none
     end
+
+let lp_bound s =
+  match s.stats with
+  | None -> lp_bound_core s
+  | Some st ->
+      let t0 = now () in
+      let r = lp_bound_core s in
+      st.Stats.lp_s <- st.Stats.lp_s +. (now () -. t0);
+      r
 
 (* Reduced-cost fixing against cutoff [c]: with node LP value [z], moving a
    nonbasic variable off its bound costs at least its reduced cost, so if
@@ -484,6 +534,10 @@ let reduced_cost_fix s c =
             fixed := v :: !fixed
           end)
         (Simplex.nonbasic_reduced_costs st.inst);
+      (match (s.stats, !fixed) with
+      | Some t, _ :: _ ->
+          t.Stats.rc_fixings <- t.Stats.rc_fixings + List.length !fixed
+      | _ -> ());
       !fixed
 
 (* Root probing (failed-literal shaving) against the incumbent cutoff:
@@ -508,6 +562,9 @@ let probe_fixpoint s ~max_passes =
         let v = !i in
         if s.ub.(v) - s.lb.(v) = 1 then begin
           let lo = s.lb.(v) and hi = s.ub.(v) in
+          (match s.stats with
+          | Some st -> st.Stats.probe_trials <- st.Stats.probe_trials + 1
+          | None -> ());
           let m = mark s in
           set_ub s v lo;
           let ok_lo = propagate s (Some [ v ]) in
@@ -518,6 +575,9 @@ let probe_fixpoint s ~max_passes =
             if not (propagate s (Some [ v ])) then alive := false
           end
           else begin
+            (match s.stats with
+            | Some st -> st.Stats.probe_trials <- st.Stats.probe_trials + 1
+            | None -> ());
             let m = mark s in
             set_lb s v hi;
             let ok_hi = propagate s (Some [ v ]) in
@@ -600,6 +660,9 @@ let probe_candidates s ~w =
           skip_lo
           ||
           let m = mark s in
+          (match s.stats with
+          | Some st -> st.Stats.probe_trials <- st.Stats.probe_trials + 1
+          | None -> ());
           s.no_stamp <- true;
           set_ub s v lo;
           let ok = propagate ~budget:probe_budget s (Some [ v ]) in
@@ -617,6 +680,9 @@ let probe_candidates s ~w =
             skip_hi
             ||
             let m = mark s in
+            (match s.stats with
+            | Some st -> st.Stats.probe_trials <- st.Stats.probe_trials + 1
+            | None -> ());
             s.no_stamp <- true;
             set_lb s v hi;
             let ok = propagate ~budget:probe_budget s (Some [ v ]) in
@@ -666,10 +732,16 @@ let record_incumbent s =
         in
         publish ()
     | None -> ());
-    if s.opts.verbose then
-      Printf.eprintf "[ilp] incumbent %d after %d nodes (%.2fs)\n%!" obj
-        s.nodes
-        (now () -. s.started)
+    (match s.stats with
+    | Some st ->
+        Stats.incumbent st ~time_s:(now () -. s.started) ~nodes:s.nodes
+          ~objective:obj
+    | None -> ());
+    match s.opts.trace with
+    | Some tr ->
+        Trace.emit tr ~time_s:(now () -. s.started)
+          (Trace.Incumbent { objective = obj; nodes = s.nodes })
+    | None -> ()
   end
 
 (* Dynamic most-constrained selection, windowed over the static order:
@@ -711,35 +783,64 @@ let pick_branch_var s =
 let probe_prune s =
   if s.probe_skip > 0 then begin
     s.probe_skip <- s.probe_skip - 1;
+    (match s.stats with
+    | Some st -> st.Stats.probe_skips <- st.Stats.probe_skips + 1
+    | None -> ());
     false
   end
   else begin
+    let t0 = match s.stats with Some _ -> now () | None -> 0.0 in
     let alive = probe_candidates s ~w:probe_window in
+    (match s.stats with
+    | Some st ->
+        st.Stats.probe_s <- st.Stats.probe_s +. (now () -. t0);
+        st.Stats.probe_calls <- st.Stats.probe_calls + 1;
+        if s.probe_hit then st.Stats.probe_hits <- st.Stats.probe_hits + 1
+    | None -> ());
     if s.probe_hit then s.probe_miss <- 0
     else begin
       s.probe_miss <- min (s.probe_miss + 1) probe_max_backoff;
-      s.probe_skip <- (1 lsl s.probe_miss) - 1
+      s.probe_skip <- (1 lsl s.probe_miss) - 1;
+      (match s.stats with
+      | Some st -> st.Stats.probe_backoffs <- st.Stats.probe_backoffs + 1
+      | None -> ())
     end;
     not alive
   end
 
+(* Prune-reason telemetry: the reason is a constant constructor, so the
+   event record is only allocated once a sink is installed. *)
+let pruned s depth reason =
+  match s.opts.trace with
+  | Some tr ->
+      Trace.emit tr ~time_s:(now () -. s.started)
+        (Trace.Prune { depth; reason })
+  | None -> ()
+
 let rec dfs s depth =
   s.nodes <- s.nodes + 1;
+  (match s.stats with Some st -> Stats.node st ~depth | None -> ());
+  (match s.opts.trace with
+  | Some tr ->
+      Trace.emit tr ~time_s:(now () -. s.started)
+        (Trace.Node { depth; nodes = s.nodes })
+  | None -> ());
   if s.nodes land 63 = 0 || use_lp_at s depth then check_limits s;
   let c = cutoff s in
-  if c < max_int && objective_min_activity s >= c then ()
+  if c < max_int && objective_min_activity s >= c then
+    pruned s depth Trace.Cutoff
   else if
     depth > 0 && depth <= s.probe_depth && c < max_int && probe_prune s
-  then ()
+  then pruned s depth Trace.Probed
     (* Below the root an LP bound only prunes against an incumbent; skip
        the solve while there is none. *)
   else if use_lp_at s depth && (depth = 0 || c < max_int) then begin
     match lp_bound s with
-    | Bound_infeasible -> ()
+    | Bound_infeasible -> pruned s depth Trace.Lp_infeasible
     | Bound_none -> branch s depth
     | Bound b ->
         if depth = 0 && b > s.root_bound then s.root_bound <- b;
-        if c < max_int && b >= c then ()
+        if c < max_int && b >= c then pruned s depth Trace.Lp_bound
         else if c = max_int then branch s depth
         else begin
           (* bound-based fixings join the node's propagation fixpoint *)
@@ -795,10 +896,11 @@ and branch s depth =
    is violated, the round limit is hit, or the deadline passes.  Returns
    the possibly-strengthened model and the warm instance (already hot on
    the cut-augmented root LP) for the search to keep using. *)
-let root_cut_loop ?deadline ~(options : options) model =
+let root_cut_loop ?deadline ?stats ?started ~(options : options) model =
   match Simplex.instance_of_model model with
   | None -> (model, None)
   | Some inst ->
+      let t0 = match started with Some t -> t | None -> now () in
       let model = ref model and copied = ref false in
       let rounds = ref 0 and total = ref 0 and go = ref true in
       while !go && !rounds < 8 do
@@ -828,15 +930,30 @@ let root_cut_loop ?deadline ~(options : options) model =
                       (List.map (fun (a, v) -> (v, float_of_int a)) c.terms)
                       (float_of_int c.rhs))
                   cuts;
-                total := !total + List.length cuts
+                let n = List.length cuts in
+                total := !total + n;
+                (match stats with
+                | Some st ->
+                    st.Stats.cut_rounds <- st.Stats.cut_rounds + 1;
+                    st.Stats.cuts_generated <- st.Stats.cuts_generated + n;
+                    st.Stats.cuts_kept <- st.Stats.cuts_kept + n
+                | None -> ());
+                match options.trace with
+                | Some tr ->
+                    Trace.emit tr ~time_s:(now () -. t0)
+                      (Trace.Cut_round { round = !rounds; cuts = n })
+                | None -> ()
               end
           | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit
             ->
               go := false
       done;
-      if options.verbose && !total > 0 then
-        Printf.eprintf "[ilp] %d root cuts in %d rounds\n%!" !total
-          (!rounds - 1);
+      (match options.trace with
+      | Some tr when !total > 0 ->
+          Trace.emit tr ~time_s:(now () -. t0)
+            (Trace.Message
+               (Printf.sprintf "%d root cuts in %d rounds" !total (!rounds - 1)))
+      | Some _ | None -> ());
       (!model, Some inst)
 
 (* Decide the orbit list and canonical warm start for a solve.  Caller
@@ -848,7 +965,18 @@ let root_cut_loop ?deadline ~(options : options) model =
    that is not a true symmetry), the orbits are dropped rather than the
    warm start.  Returns the (possibly lex-augmented) model and patched
    options. *)
+(* The historical [verbose] flag is now a convenience alias for a
+   human-readable stderr trace: with no explicit sink installed it
+   reroutes through {!Trace.stderr_human}, so an explicit [--trace FILE]
+   captures the same events and leaves stderr clean (essential under
+   [jobs > 1], where interleaved worker prints were unreadable). *)
+let reroute_verbose (options : options) =
+  if options.verbose && options.trace = None then
+    { options with trace = Some (Trace.stderr_human ()) }
+  else options
+
 let prepare ~(options : options) model =
+  let options = reroute_verbose options in
   let orbits =
     if not options.sym then []
     else if options.orbits <> [] then options.orbits
@@ -900,19 +1028,19 @@ let prepare ~(options : options) model =
 
 (* Root cut loop under the solve's budget: cap cut generation at a quarter
    of any time limit so branching always gets the lion's share. *)
-let cut_phase ~(options : options) ~started model =
+let cut_phase ?stats ~(options : options) ~started model =
   if options.lp = Lp_never then (model, None)
   else if options.cuts then
     let deadline =
       Option.map (fun tl -> started +. (0.25 *. tl)) options.time_limit
     in
-    root_cut_loop ?deadline ~options model
+    root_cut_loop ?deadline ?stats ~started ~options model
   else (model, Simplex.instance_of_model model)
 
 (* Build the full search state for [model]: normalized rows, occurrence
    lists, incremental activities, the warm LP engine, and the warm-start
    incumbent.  [model] must already carry its lex rows and cuts. *)
-let build_search ~(options : options) ~started model warm_inst =
+let build_search ?stats ~(options : options) ~started model warm_inst =
   let n = Model.n_vars model in
   let lb = Array.make n 0 and ub = Array.make n 0 in
   for v = 0 to n - 1 do
@@ -1057,6 +1185,7 @@ let build_search ~(options : options) ~started model warm_inst =
       act = Array.make (max n 1) 0.0;
       act_inc = 1.0;
       value_hint = options.warm_start;
+      stats;
     }
   in
   let install x =
@@ -1079,20 +1208,54 @@ let build_search ~(options : options) ~started model warm_inst =
   | Some _ | None -> ());
   s
 
+(* End-of-search stamping of the counters that are kept outside the hot
+   path: propagation ticks live in the search record, the simplex pivot
+   total in the warm instance. *)
+let finalize_stats s =
+  match s.stats with
+  | None -> ()
+  | Some st -> (
+      st.Stats.prop_ticks <- st.Stats.prop_ticks + s.ticks;
+      match s.lp_st with
+      | Some l ->
+          st.Stats.lp_pivots <- st.Stats.lp_pivots + Simplex.pivots l.inst
+      | None -> ())
+
+(* Phase-boundary timer: [tick stats last set] charges the wall clock
+   since [!last] to one stats field and advances the boundary.  Per-solve
+   cost only (a handful of calls per solve), never per node. *)
+let tick stats last set =
+  match stats with
+  | Some st ->
+      let t = now () in
+      set st (t -. !last);
+      last := t
+  | None -> ()
+
 let solve ?(options = default) model =
   let started = now () in
+  let stats = if options.stats then Some (Stats.create ()) else None in
+  let last = ref started in
   let model, options = prepare ~options model in
-  let model, warm_inst = cut_phase ~options ~started model in
-  let s = build_search ~options ~started model warm_inst in
+  tick stats last (fun st d -> st.Stats.prepare_s <- d);
+  let model, warm_inst = cut_phase ?stats ~options ~started model in
+  tick stats last (fun st d -> st.Stats.cuts_s <- d);
+  let s = build_search ?stats ~options ~started model warm_inst in
+  tick stats last (fun st d -> st.Stats.build_s <- d);
   let root_mark = ref 0 in
   let complete =
     try
       let root_ok = propagate s None && probe_fixpoint s ~max_passes:4 in
+      tick stats last (fun st d -> st.Stats.root_s <- d);
       root_mark := mark s;
       if root_ok then dfs s 0;
       true
     with Out_of_time -> false
   in
+  (* On an in-root limit hit the root tick never ran; the search tick then
+     absorbs the root phase too, keeping the phase account exhaustive. *)
+  tick stats last (fun st d -> st.Stats.search_s <- d);
+  finalize_stats s;
   (* A limit can fire mid-branch with the trail partially wound; rewind to
      the root-propagated state so the trivial bound below is a bound on the
      whole problem, not on the interrupted subtree. *)
@@ -1111,6 +1274,7 @@ let solve ?(options = default) model =
         time_s;
         orbits;
         stolen = 0;
+        stats;
       }
   | Some x, false ->
       {
@@ -1122,6 +1286,7 @@ let solve ?(options = default) model =
         time_s;
         orbits;
         stolen = 0;
+        stats;
       }
   | None, true ->
       {
@@ -1133,6 +1298,7 @@ let solve ?(options = default) model =
         time_s;
         orbits;
         stolen = 0;
+        stats;
       }
   | None, false ->
       {
@@ -1144,6 +1310,7 @@ let solve ?(options = default) model =
         time_s;
         orbits;
         stolen = 0;
+        stats;
       }
 
 (* --- parallel subtree search --------------------------------------------
@@ -1259,6 +1426,8 @@ let rec publish a obj =
 let solve_parallel ?(options = default) ~jobs model =
   let jobs = max 1 (min jobs 64) in
   let started = now () in
+  let stats = if options.stats then Some (Stats.create ()) else None in
+  let last = ref started in
   let model, options = prepare ~options model in
   (* Strip a warm start that fails the audit here, once, so the per-subtree
      reset can trust it unconditionally. *)
@@ -1271,11 +1440,13 @@ let solve_parallel ?(options = default) ~jobs model =
     | Some _ -> { options with warm_start = None }
     | None -> options
   in
-  let model, warm_inst = cut_phase ~options ~started model in
+  tick stats last (fun st d -> st.Stats.prepare_s <- d);
+  let model, warm_inst = cut_phase ?stats ~options ~started model in
+  tick stats last (fun st d -> st.Stats.cuts_s <- d);
   (* Force the model's lazy caches before it crosses domains. *)
   if Model.n_vars model > 0 then ignore (Model.bounds model 0);
   let orbit_count = List.length options.orbits in
-  let finish ~complete ~stolen ~nodes ~bound best =
+  let finish ~complete ~stolen ~nodes ~bound ~stats best =
     let time_s = now () -. started in
     match (best, complete) with
     | Some (obj, x), true ->
@@ -1288,6 +1459,7 @@ let solve_parallel ?(options = default) ~jobs model =
           time_s;
           orbits = orbit_count;
           stolen;
+          stats;
         }
     | Some (obj, x), false ->
         {
@@ -1299,6 +1471,7 @@ let solve_parallel ?(options = default) ~jobs model =
           time_s;
           orbits = orbit_count;
           stolen;
+          stats;
         }
     | None, true ->
         {
@@ -1310,6 +1483,7 @@ let solve_parallel ?(options = default) ~jobs model =
           time_s;
           orbits = orbit_count;
           stolen;
+          stats;
         }
     | None, false ->
         {
@@ -1321,24 +1495,28 @@ let solve_parallel ?(options = default) ~jobs model =
           time_s;
           orbits = orbit_count;
           stolen;
+          stats;
         }
   in
-  let s0 = build_search ~options ~started model warm_inst in
+  let s0 = build_search ?stats ~options ~started model warm_inst in
+  tick stats last (fun st d -> st.Stats.build_s <- d);
   let root_state =
     try
       if propagate s0 None && probe_fixpoint s0 ~max_passes:4 then `Open
       else `Closed
     with Out_of_time -> `Aborted
   in
+  tick stats last (fun st d -> st.Stats.root_s <- d);
   match root_state with
   | `Closed | `Aborted ->
       let complete = root_state = `Closed in
       let best =
         Option.map (fun x -> (s0.incumbent_obj, x)) s0.incumbent
       in
+      finalize_stats s0;
       finish ~complete ~stolen:0 ~nodes:s0.nodes
         ~bound:(objective_min_activity s0)
-        best
+        ~stats best
   | `Open ->
       (* The subtree count must NOT depend on [jobs]: the frontier (and
          with it root_best, every per-subtree result and the final
@@ -1352,26 +1530,37 @@ let solve_parallel ?(options = default) ~jobs model =
         Option.map (fun x -> (s0.incumbent_obj, x)) s0.incumbent
       in
       let root_bound = objective_min_activity s0 in
-      if frontier = [] || expansion_aborted then
+      if frontier = [] || expansion_aborted then begin
         (* the whole tree closed during expansion, or a limit fired *)
+        finalize_stats s0;
+        tick stats last (fun st d -> st.Stats.search_s <- d);
         finish
           ~complete:((not expansion_aborted) && frontier = [])
-          ~stolen:0 ~nodes:s0.nodes ~bound:root_bound root_best
+          ~stolen:0 ~nodes:s0.nodes ~bound:root_bound ~stats root_best
+      end
       else begin
         let frontier = Array.of_list frontier in
         let n_sub = Array.length frontier in
+        (match options.trace with
+        | Some tr ->
+            Array.iteri
+              (fun i path ->
+                Trace.emit tr
+                  ~time_s:(now () -. started)
+                  (Trace.Subtree { id = i; depth = List.length path }))
+              frontier
+        | None -> ());
         let deques = Pool.Deques.create ~owners:jobs in
         Array.iteri
           (fun i path -> Pool.Deques.push deques ~owner:(i mod jobs) (i, path))
           frontier;
-        let shared =
-          Atomic.make (match root_best with Some (o, _) -> o | None -> max_int)
-        in
         let stolen = Atomic.make 0 in
         let incomplete = Atomic.make false in
         let results = Array.make n_sub None in
         (* Workers run with no shared incumbent: inside a subtree only the
-           deterministic seed prunes; publication happens per subtree. *)
+           deterministic seed prunes, so every subtree's outcome — and with
+           it the node count and depth histogram — is a pure function of
+           the subtree, identical for any [jobs]. *)
         let worker_opts = { options with shared_incumbent = None } in
         let work idx =
           let winst =
@@ -1385,7 +1574,8 @@ let solve_parallel ?(options = default) ~jobs model =
                   ignore (Simplex.resolve ~max_iters:20_000 inst);
                   Some inst
           in
-          let ws = build_search ~options:worker_opts ~started model winst in
+          let wstats = if options.stats then Some (Stats.create ()) else None in
+          let ws = build_search ?stats:wstats ~options:worker_opts ~started model winst in
           let total_nodes = ref 0 in
           (* Capture and zero the per-search node counter, so each subtree
              gets the full node budget.  A cumulative budget would make a
@@ -1430,15 +1620,7 @@ let solve_parallel ?(options = default) ~jobs model =
                    path;
                  let seeds = List.map (fun (v, _, _) -> v) path in
                  let open_ = propagate ws (Some seeds) in
-                 (* Consulting the shared incumbent is sound for the final
-                    (objective, solution): it only ever holds true solution
-                    objectives >= the final best, so a skipped subtree's
-                    optimum is strictly worse than the final best and could
-                    not even tie. *)
-                 let skip =
-                   open_ && objective_min_activity ws > Atomic.get shared
-                 in
-                 if open_ && not skip then dfs ws 0
+                 if open_ then dfs ws 0
                with Out_of_time -> Atomic.set incomplete true);
               undo_to ws m;
               match ws.incumbent with
@@ -1446,8 +1628,7 @@ let solve_parallel ?(options = default) ~jobs model =
                 when ws.incumbent_obj
                      < (match root_best with Some (o, _) -> o | None -> max_int)
                 ->
-                  results.(i) <- Some (ws.incumbent_obj, x);
-                  publish shared ws.incumbent_obj
+                  results.(i) <- Some (ws.incumbent_obj, x)
               | Some _ | None -> ()
             in
             let rec loop () =
@@ -1458,8 +1639,14 @@ let solve_parallel ?(options = default) ~jobs model =
                     loop ()
                 | None -> (
                     match Pool.Deques.steal deques ~thief:idx with
-                    | Some (item, _victim) ->
+                    | Some (item, victim) ->
                         Atomic.incr stolen;
+                        (match ws.opts.trace with
+                        | Some tr ->
+                            Trace.emit tr
+                              ~time_s:(now () -. ws.started)
+                              (Trace.Steal { thief = idx; victim })
+                        | None -> ());
                         process item;
                         loop ()
                     | None -> ())
@@ -1473,7 +1660,8 @@ let solve_parallel ?(options = default) ~jobs model =
             loop ()
           end;
           flush_nodes ();
-          !total_nodes
+          finalize_stats ws;
+          (!total_nodes, wstats)
         in
         let pool = Pool.create ~jobs in
         let tasks = List.init jobs (fun idx -> Pool.submit pool (fun () -> work idx)) in
@@ -1482,7 +1670,7 @@ let solve_parallel ?(options = default) ~jobs model =
         let worker_nodes =
           List.fold_left
             (fun acc r ->
-              match r with Ok n -> acc + n | Error e -> raise e)
+              match r with Ok (n, _) -> acc + n | Error e -> raise e)
             0 settled
         in
         let best = ref root_best in
@@ -1500,10 +1688,32 @@ let solve_parallel ?(options = default) ~jobs model =
         | Some a, Some (obj, _) -> publish a obj
         | _ -> ());
         let complete = not (Atomic.get incomplete) in
+        finalize_stats s0;
+        let stats =
+          match stats with
+          | None -> None
+          | Some st ->
+              (* Phase timers live on the main record (workers only fill
+                 CPU sub-timers like lp_s/probe_s), so the merged phases
+                 still sum to the call's wall clock. *)
+              st.Stats.search_s <- now () -. !last;
+              let merged =
+                List.fold_left
+                  (fun acc r ->
+                    match r with
+                    | Ok (_, Some ws) -> Stats.merge acc ws
+                    | Ok (_, None) | Error _ -> acc)
+                  st settled
+              in
+              merged.Stats.subtrees <- n_sub;
+              merged.Stats.steals <- Atomic.get stolen;
+              merged.Stats.workers <- jobs;
+              Some merged
+        in
         finish ~complete
           ~stolen:(Atomic.get stolen)
           ~nodes:(s0.nodes + worker_nodes)
-          ~bound:root_bound !best
+          ~bound:root_bound ~stats !best
       end
 
 (* Shared cut generation for portfolio races: one cut loop, every member
@@ -1511,6 +1721,7 @@ let solve_parallel ?(options = default) ~jobs model =
 let with_root_cuts ?(options = default) model =
   if options.lp = Lp_never || not options.cuts then model
   else begin
+    let options = reroute_verbose options in
     let deadline =
       Option.map (fun tl -> now () +. (0.25 *. tl)) options.time_limit
     in

@@ -23,12 +23,24 @@ type outcome = {
   objective : int option;
   bound : int;  (** proven lower bound on the optimum *)
   nodes : int;
-  time_s : float;  (** wall-clock seconds spent *)
+  time_s : float;
+      (** wall-clock seconds of the whole call, measured from entry to
+          return of {!solve} / {!solve_parallel} — it covers presolve
+          done by the entry point, symmetry detection, cut generation,
+          search-state construction and the search itself, so it is the
+          number a caller's own stopwatch around the call would read. *)
   orbits : int;
       (** symmetry orbits broken during this solve (supplied or detected) *)
   stolen : int;
       (** subtrees executed by a worker other than their home worker;
           always 0 for the sequential {!solve} *)
+  stats : Stats.t option;
+      (** per-phase timers and search counters, present iff
+          [options.stats] was set.  For {!solve_parallel} this is the
+          merge of the main domain's record with every worker's (see
+          {!Stats.merge}); deterministic counters (nodes, depth
+          histogram, orbit fixings, cut counts) are identical for any
+          [jobs]. *)
 }
 
 type lp_mode =
@@ -66,6 +78,10 @@ type options = {
           (e.g. a cross-instance seed next to a same-instance heuristic).
           Checked and silently discarded if infeasible. *)
   verbose : bool;
+      (** progress lines on stderr (incumbents, cut totals).  Implemented
+          as a {!Trace.stderr_human} sink installed when [trace] is
+          [None]; an explicit [trace] sink takes precedence and receives
+          the same events (plus the full node/prune stream). *)
   branch_window : int;
       (** dynamic-branching lookahead: the branched variable is the
           most-constrained (smallest domain, then highest conflict
@@ -94,12 +110,23 @@ type options = {
           out immediately on large models.  A warm start is replaced by
           its canonical symmetric image; if that image fails the model
           audit the orbits are dropped, never the warm start. *)
+  stats : bool;
+      (** collect {!Stats} for this solve (default false).  The
+          instrumentation is allocation-free and branch-only when off;
+          when on it adds counter bumps and a few clock reads per solve
+          phase, never a syscall per node. *)
+  trace : Trace.sink option;
+      (** structured event sink (default [None]).  Receives the full
+          typed event stream: nodes, prunes with reasons, incumbents,
+          cut rounds, subtree spawns and steals.  The sink is shared by
+          all parallel workers (writes are serialized); the caller owns
+          it and should {!Trace.close} it after the solve. *)
 }
 
 val default : options
 (** No limits, [Lp_root], cuts on, no order, prefer 1, no warm start,
     quiet, no cancellation token, no shared incumbent, symmetry breaking
-    on with auto-detected orbits. *)
+    on with auto-detected orbits, no stats, no trace. *)
 
 val solve : ?options:options -> Model.t -> outcome
 
@@ -108,16 +135,17 @@ val solve_parallel : ?options:options -> jobs:int -> Model.t -> outcome
     probing) runs once, the root is expanded breadth-first into open
     subtrees using the sequential branching order, and the subtrees are
     spread over per-worker work-stealing deques ({!Pool.Deques}) — idle
-    workers steal the oldest pending subtree of a busy one.  Workers share
-    an atomic incumbent used only to skip whole subtrees whose bound is
-    strictly above it, which can never discard an optimal solution or a
-    tie; inside a subtree the search state is reset to a canonical
-    root-derived state, so each subtree's result is schedule-independent.
-    The returned solution is the minimum over all subtree results under
-    (objective, lexicographic solution) — [solve_parallel ~jobs:1] and
-    [~jobs:4] return identical status, objective and solution.
-    [outcome.stolen] counts subtrees that ran away from their home worker;
-    node counts are summed across workers.
+    workers steal the oldest pending subtree of a busy one.  Workers do
+    not exchange incumbents: each subtree starts from a canonical
+    root-derived state seeded with the root incumbent, so every
+    subtree's result — including its node count and depth histogram —
+    is a pure function of the subtree, independent of the stealing
+    schedule.  The returned solution is the minimum over all subtree
+    results under (objective, lexicographic solution) —
+    [solve_parallel ~jobs:1] and [~jobs:4] return identical status,
+    objective, solution, node count and deterministic stats.
+    [outcome.stolen] counts subtrees that ran away from their home
+    worker; node counts are summed across workers.
 
     [options.node_limit] applies to the root phase and then to each open
     subtree separately (not cumulatively per worker), so a limit-hit

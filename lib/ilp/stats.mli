@@ -1,0 +1,90 @@
+(** Per-solve search telemetry: phase timers and counters.
+
+    A [t] is a plain mutable record the solver fills in when
+    {!Solver.options.stats} is set; it is surfaced as
+    {!Solver.outcome.stats}.  Parallel solves give each worker its own
+    record and {!merge} them at combine time, so the search hot path
+    never touches an atomic and jobs-deterministic fields (node counts,
+    per-depth histogram, cut counts) stay identical for any worker
+    count.  With stats disabled every instrumented site costs a single
+    branch and allocates nothing.
+
+    The six top-level phase timers ([presolve_s] .. [search_s]) are
+    disjoint wall-clock segments of the solve call measured on the
+    calling domain: their sum accounts for the outcome's [time_s].
+    [lp_s] and [probe_s] are sub-timers summed across workers (CPU time
+    inside [root_s]/[search_s], not additional wall clock). *)
+
+type t = {
+  mutable presolve_s : float;
+      (** caller-side {!Presolve.strengthen} time, stamped by callers
+          that presolve before handing the model to the solver *)
+  mutable prepare_s : float;  (** symmetry detection + canonicalization *)
+  mutable cuts_s : float;  (** root cut loop, including its LP resolves *)
+  mutable build_s : float;  (** search-state construction + warm start *)
+  mutable root_s : float;  (** root propagation + shaving fixpoint *)
+  mutable search_s : float;  (** tree search (all nodes, all workers) *)
+  mutable lp_s : float;  (** node LP bounding (summed across workers) *)
+  mutable probe_s : float;  (** in-tree probing (summed across workers) *)
+  mutable cut_rounds : int;
+  mutable cuts_generated : int;
+  mutable cuts_kept : int;
+  mutable prop_fixpoints : int;
+  mutable prop_ticks : int;  (** row propagations + orbit passes *)
+  mutable prop_conflicts : int;
+  mutable probe_calls : int;
+  mutable probe_skips : int;  (** nodes skipped by the backoff gate *)
+  mutable probe_trials : int;  (** tentative endpoint propagations *)
+  mutable probe_hits : int;
+  mutable probe_backoffs : int;
+  mutable lp_resolves : int;
+  mutable lp_warm : int;  (** warm re-solves reaching optimality *)
+  mutable lp_fallbacks : int;  (** capped re-solves kept by weak duality *)
+  mutable lp_infeasible : int;
+  mutable lp_cold : int;  (** cold two-phase solves *)
+  mutable lp_pivots : int;  (** cumulative dual pivots *)
+  mutable rc_fixings : int;  (** variables fixed by reduced cost *)
+  mutable orbit_fixings : int;  (** bound changes by orbital fixing *)
+  mutable incumbents : (float * int * int) list;
+      (** primal-progress curve: (seconds, nodes, objective) per
+          incumbent improvement, newest first *)
+  mutable depth_hist : int array;
+      (** nodes per depth; the sum equals the outcome's node count *)
+  mutable subtrees : int;  (** parallel frontier size; 0 sequentially *)
+  mutable steals : int;
+  mutable workers : int;  (** worker domains; 0 sequentially *)
+}
+
+val create : unit -> t
+(** A zeroed record. *)
+
+val node : t -> depth:int -> unit
+(** Count one search node at [depth] (grows the histogram on demand). *)
+
+val incumbent : t -> time_s:float -> nodes:int -> objective:int -> unit
+(** Append one point to the primal-progress curve. *)
+
+val merge : t -> t -> t
+(** Element-wise sum (histograms element-wise, incumbent histories
+    unioned under a canonical sort); commutative and associative up to
+    float-addition rounding.  Returns a fresh record. *)
+
+val total_nodes : t -> int
+(** Sum of the depth histogram. *)
+
+val max_depth : t -> int
+(** Deepest level with at least one node (0 when empty). *)
+
+val primal_progress : t -> (float * int * int) list
+(** The incumbent curve sorted oldest first. *)
+
+val phases : t -> (string * float) list
+(** The six disjoint top-level phase timers, in pipeline order. *)
+
+val accounted_s : t -> float
+(** Sum of {!phases} — the share of the wall clock the telemetry
+    attributes to a named phase. *)
+
+val pp : ?time_s:float -> Format.formatter -> t -> unit
+(** Human-readable table.  With [time_s] (the outcome's wall clock),
+    each phase also shows its percentage of the whole call. *)

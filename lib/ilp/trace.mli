@@ -1,0 +1,51 @@
+(** Structured search traces.
+
+    An optional event sink the solver writes typed events to when
+    {!Solver.options.trace} is set.  The disabled path costs one branch
+    per emission site (the event payload is only allocated when a sink
+    is installed).  All sinks are domain-safe: writes are serialized
+    with a mutex, so the parallel workers of
+    {!Solver.solve_parallel} can share one sink. *)
+
+type prune_reason =
+  | Cutoff  (** objective min-activity reached the incumbent cutoff *)
+  | Probed  (** probing refuted the node against the cutoff *)
+  | Lp_infeasible  (** the node LP was infeasible *)
+  | Lp_bound  (** the node LP bound reached the cutoff *)
+
+type event =
+  | Node of { depth : int; nodes : int }  (** a search node was opened *)
+  | Prune of { depth : int; reason : prune_reason }
+  | Incumbent of { objective : int; nodes : int }
+  | Cut_round of { round : int; cuts : int }
+      (** one root cut-loop round that separated [cuts] cuts *)
+  | Subtree of { id : int; depth : int }
+      (** a frontier subtree was spawned ([depth] = path length) *)
+  | Steal of { thief : int; victim : int }
+  | Message of string  (** free-form progress line *)
+
+type sink
+
+val file : string -> sink
+(** JSONL sink writing one [{"t":seconds,"ev":kind,...}] object per
+    line to a fresh file; {!close} closes it. *)
+
+val channel : out_channel -> sink
+(** JSONL sink on an existing channel; {!close} flushes but does not
+    close it. *)
+
+val stderr_human : unit -> sink
+(** Human-readable sink reproducing the solver's historical [verbose]
+    stderr lines: prints {!Incumbent} and {!Message} events only. *)
+
+val ring : int -> sink
+(** In-memory ring keeping the last [capacity] events (for tests). *)
+
+val emit : sink -> time_s:float -> event -> unit
+(** Record [event] at [time_s] seconds since the solve started. *)
+
+val events : sink -> (float * event) list
+(** Contents of a {!ring} sink, oldest first; [[]] for other sinks. *)
+
+val close : sink -> unit
+(** Flush (and for {!file} sinks close) the underlying channel. *)

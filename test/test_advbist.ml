@@ -607,6 +607,105 @@ let test_gap_uses_structural_bound () =
   check_bool "incumbent respects the bound" true
     (o.Advbist.Synth.area >= lb_area)
 
+(* -- Bench snapshots ----------------------------------------------------- *)
+
+(* Tests run from _build/default/test; the committed snapshot is a declared
+   dune dep one level up. *)
+let committed_snapshot_path = "../BENCH_solver.json"
+
+let load_committed_snapshot () =
+  match Advbist.Bench_snapshot.of_file committed_snapshot_path with
+  | Ok t -> t
+  | Error msg ->
+      Alcotest.failf "committed BENCH_solver.json does not parse: %s" msg
+
+let test_bench_snapshot_parse_committed () =
+  let t = load_committed_snapshot () in
+  check_bool "committed snapshot is schema v2 or v3" true
+    (t.Advbist.Bench_snapshot.version = 2
+    || t.Advbist.Bench_snapshot.version = 3);
+  check_bool "snapshot has circuits" true
+    (t.Advbist.Bench_snapshot.circuits <> []);
+  check_bool "tseng is benched" true
+    (List.exists
+       (fun (c : Advbist.Bench_snapshot.circuit) -> c.circuit = "tseng")
+       t.Advbist.Bench_snapshot.circuits);
+  List.iter
+    (fun (c : Advbist.Bench_snapshot.circuit) ->
+      check_bool
+        (Printf.sprintf "%s has rows" c.circuit)
+        true (c.rows <> []))
+    t.Advbist.Bench_snapshot.circuits
+
+let test_bench_snapshot_roundtrip () =
+  let t = load_committed_snapshot () in
+  let s1 = Advbist.Bench_snapshot.to_string t in
+  match Advbist.Bench_snapshot.of_string s1 with
+  | Error msg -> Alcotest.failf "re-rendered snapshot does not parse: %s" msg
+  | Ok t' ->
+      Alcotest.(check int)
+        "writer always emits schema v3" 3 t'.Advbist.Bench_snapshot.version;
+      Alcotest.(check string)
+        "render/parse/render is a fixpoint" s1
+        (Advbist.Bench_snapshot.to_string t')
+
+(* Return [t] with the area of row [k] of [circuit] bumped by [delta]. *)
+let bump_area t ~circuit ~k ~delta =
+  let open Advbist.Bench_snapshot in
+  {
+    t with
+    circuits =
+      List.map
+        (fun (c : Advbist.Bench_snapshot.circuit) ->
+          if c.circuit <> circuit then c
+          else
+            {
+              c with
+              rows =
+                List.map
+                  (fun (r : row) ->
+                    if r.k = k then { r with area = r.area + delta } else r)
+                  c.rows;
+            })
+        t.circuits;
+  }
+
+let test_bench_diff_self_clean () =
+  let t = load_committed_snapshot () in
+  let findings = Advbist.Bench_snapshot.diff ~baseline:t ~current:t in
+  check_bool "self-diff has no findings" true (findings = []);
+  check_bool "self-diff passes" true
+    (not (Advbist.Bench_snapshot.has_failures findings))
+
+let test_bench_diff_flags_area_regression () =
+  let baseline = load_committed_snapshot () in
+  let current = bump_area baseline ~circuit:"tseng" ~k:1 ~delta:64 in
+  let findings = Advbist.Bench_snapshot.diff ~baseline ~current in
+  check_bool "regression detected" true
+    (Advbist.Bench_snapshot.has_failures findings);
+  let fails =
+    List.filter
+      (fun f -> f.Advbist.Bench_snapshot.severity = Advbist.Bench_snapshot.Fail)
+      findings
+  in
+  Alcotest.(check int) "exactly one failure" 1 (List.length fails);
+  (match fails with
+  | [ f ] ->
+      Alcotest.(check string)
+        "failure names the circuit" "tseng" f.Advbist.Bench_snapshot.circuit;
+      check_bool "failure names the row" true
+        (f.Advbist.Bench_snapshot.k = Some 1)
+  | _ -> Alcotest.fail "unreachable");
+  let report =
+    Advbist.Bench_snapshot.render_report ~baseline ~current findings
+  in
+  check_bool "report says FAIL" true
+    (let rec contains i =
+       i + 4 <= String.length report
+       && (String.sub report i 4 = "FAIL" || contains (i + 1))
+     in
+     contains 0)
+
 let () =
   Alcotest.run "advbist"
     [
@@ -680,4 +779,15 @@ let () =
       ( "random_cross_validation",
         List.map QCheck_alcotest.to_alcotest
           [ prop_engines_agree_random; prop_synthesized_simulates_random ] );
+      ( "bench_snapshot",
+        [
+          Alcotest.test_case "parse committed snapshot" `Quick
+            test_bench_snapshot_parse_committed;
+          Alcotest.test_case "v3 round-trip fixpoint" `Quick
+            test_bench_snapshot_roundtrip;
+          Alcotest.test_case "self-diff is clean" `Quick
+            test_bench_diff_self_clean;
+          Alcotest.test_case "area regression flagged" `Quick
+            test_bench_diff_flags_area_regression;
+        ] );
     ]

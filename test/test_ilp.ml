@@ -1030,6 +1030,234 @@ let prop_parallel_matches_brute_force =
           Option.get r.Ilp.Solver.objective = expect
       | _ -> false)
 
+(* -- Stats & trace ------------------------------------------------------- *)
+
+(* The 3x3 assignment model from test_bb_assignment, as a builder. *)
+let assignment_model () =
+  let cost = [| [| 4; 2; 8 |]; [| 4; 3; 7 |]; [| 3; 1; 6 |] |] in
+  let m = Ilp.Model.create ~name:"assign" () in
+  let x =
+    Array.init 3 (fun i ->
+        Array.init 3 (fun j ->
+            Ilp.Model.bool_var m (Printf.sprintf "x%d%d" i j)))
+  in
+  for i = 0 to 2 do
+    Ilp.Model.add_eq m
+      (Ilp.Linexpr.sum (List.init 3 (fun j -> Ilp.Linexpr.var x.(i).(j))))
+      1;
+    Ilp.Model.add_eq m
+      (Ilp.Linexpr.sum (List.init 3 (fun j -> Ilp.Linexpr.var x.(j).(i))))
+      1
+  done;
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list
+       (List.concat
+          (List.init 3 (fun i ->
+               List.init 3 (fun j -> (cost.(i).(j), x.(i).(j)))))));
+  m
+
+(* Disjoint odd cycles: maximise the stable set.  The LP relaxation is
+   half-integral on every cycle, and neither cover nor clique cuts close
+   the gap, so the search genuinely branches — enough tree to populate
+   the parallel frontier. *)
+let odd_cycles_model ~cycles ~len () =
+  let m = Ilp.Model.create ~name:"odd-cycles" () in
+  let x =
+    Array.init cycles (fun c ->
+        Array.init len (fun i ->
+            Ilp.Model.bool_var m (Printf.sprintf "c%dv%d" c i)))
+  in
+  for c = 0 to cycles - 1 do
+    for i = 0 to len - 1 do
+      Ilp.Model.add_le m
+        Ilp.Linexpr.(add (var x.(c).(i)) (var x.(c).((i + 1) mod len)))
+        1
+    done
+  done;
+  (* minimise the negated size: the solver minimises *)
+  Ilp.Model.set_objective m
+    (Ilp.Linexpr.of_list
+       (List.concat
+          (List.init cycles (fun c ->
+               List.init len (fun i -> (-1, x.(c).(i)))))));
+  m
+
+let test_stats_sequential () =
+  let quiet = Ilp.Solver.solve (assignment_model ()) in
+  check_bool "stats off by default" true (quiet.Ilp.Solver.stats = None);
+  let options = { Ilp.Solver.default with Ilp.Solver.stats = true } in
+  let r = Ilp.Solver.solve ~options (assignment_model ()) in
+  check_bool "stats collection changes nothing" true
+    (r.Ilp.Solver.status = quiet.Ilp.Solver.status
+    && r.Ilp.Solver.objective = quiet.Ilp.Solver.objective
+    && r.Ilp.Solver.nodes = quiet.Ilp.Solver.nodes);
+  match r.Ilp.Solver.stats with
+  | None -> Alcotest.fail "options.stats = true returned no stats"
+  | Some st ->
+      check_int "depth histogram sums to the node count"
+        r.Ilp.Solver.nodes (Ilp.Stats.total_nodes st);
+      check_bool "phases are non-negative" true
+        (List.for_all (fun (_, s) -> s >= 0.0) (Ilp.Stats.phases st));
+      check_bool "accounted time within wall clock (plus timer noise)" true
+        (Ilp.Stats.accounted_s st <= r.Ilp.Solver.time_s +. 0.05);
+      check_bool "incumbent curve ends at the optimum" true
+        (match Ilp.Stats.primal_progress st with
+        | [] -> false
+        | curve ->
+            let _, _, obj = List.nth curve (List.length curve - 1) in
+            Some obj = r.Ilp.Solver.objective)
+
+let test_stats_parallel_jobs_invariant () =
+  let options = { Ilp.Solver.default with Ilp.Solver.stats = true } in
+  let run jobs =
+    Ilp.Solver.solve_parallel ~options ~jobs
+      (odd_cycles_model ~cycles:4 ~len:9 ())
+  in
+  let r1 = run 1 and r4 = run 4 in
+  let s1 = Option.get r1.Ilp.Solver.stats in
+  let s4 = Option.get r4.Ilp.Solver.stats in
+  check_bool "status/objective/solution identical" true
+    (r1.Ilp.Solver.status = r4.Ilp.Solver.status
+    && r1.Ilp.Solver.objective = r4.Ilp.Solver.objective
+    && r1.Ilp.Solver.solution = r4.Ilp.Solver.solution);
+  check_int "node count identical across jobs" r1.Ilp.Solver.nodes
+    r4.Ilp.Solver.nodes;
+  check_int "hist sum = nodes (jobs=1)" r1.Ilp.Solver.nodes
+    (Ilp.Stats.total_nodes s1);
+  check_int "hist sum = nodes (jobs=4)" r4.Ilp.Solver.nodes
+    (Ilp.Stats.total_nodes s4);
+  check_bool "depth histograms identical" true
+    (Ilp.Stats.max_depth s1 = Ilp.Stats.max_depth s4
+    &&
+    let h1 = s1.Ilp.Stats.depth_hist and h4 = s4.Ilp.Stats.depth_hist in
+    let len = max (Array.length h1) (Array.length h4) in
+    let get h d = if d < Array.length h then h.(d) else 0 in
+    List.for_all
+      (fun d -> get h1 d = get h4 d)
+      (List.init len (fun d -> d)));
+  check_int "orbit fixings identical" s1.Ilp.Stats.orbit_fixings
+    s4.Ilp.Stats.orbit_fixings;
+  check_int "cuts generated identical" s1.Ilp.Stats.cuts_generated
+    s4.Ilp.Stats.cuts_generated;
+  check_int "cuts kept identical" s1.Ilp.Stats.cuts_kept
+    s4.Ilp.Stats.cuts_kept;
+  check_int "subtree count identical" s1.Ilp.Stats.subtrees
+    s4.Ilp.Stats.subtrees;
+  check_bool "the frontier actually spawned subtrees" true
+    (s4.Ilp.Stats.subtrees > 0);
+  check_int "workers recorded" 4 s4.Ilp.Stats.workers
+
+(* Synthetic stats records with integer-valued floats, so float addition
+   is exact and merge associativity can be checked with (=). *)
+let mk_stats ints =
+  let a = Array.of_list ints in
+  let get i =
+    if Array.length a = 0 then 0 else abs a.(i mod Array.length a) mod 100
+  in
+  let st = Ilp.Stats.create () in
+  st.Ilp.Stats.presolve_s <- float_of_int (get 0);
+  st.Ilp.Stats.cuts_s <- float_of_int (get 1);
+  st.Ilp.Stats.search_s <- float_of_int (get 2);
+  st.Ilp.Stats.lp_s <- float_of_int (get 3);
+  st.Ilp.Stats.probe_s <- float_of_int (get 4);
+  st.Ilp.Stats.cut_rounds <- get 5;
+  st.Ilp.Stats.cuts_kept <- get 6;
+  st.Ilp.Stats.prop_fixpoints <- get 7;
+  st.Ilp.Stats.prop_ticks <- get 8;
+  st.Ilp.Stats.probe_trials <- get 9;
+  st.Ilp.Stats.probe_hits <- get 10;
+  st.Ilp.Stats.lp_resolves <- get 11;
+  st.Ilp.Stats.lp_warm <- get 12;
+  st.Ilp.Stats.rc_fixings <- get 13;
+  st.Ilp.Stats.orbit_fixings <- get 14;
+  st.Ilp.Stats.subtrees <- get 15;
+  st.Ilp.Stats.steals <- get 16;
+  for d = 0 to get 17 mod 8 do
+    Ilp.Stats.node st ~depth:d
+  done;
+  Ilp.Stats.incumbent st
+    ~time_s:(float_of_int (get 18))
+    ~nodes:(get 19) ~objective:(get 20);
+  st
+
+(* Histogram arrays may carry trailing zeros of different lengths, so
+   compare stats records field-wise with a padded histogram. *)
+let stats_eq (a : Ilp.Stats.t) (b : Ilp.Stats.t) =
+  let hist_eq =
+    let la = Array.length a.Ilp.Stats.depth_hist in
+    let lb = Array.length b.Ilp.Stats.depth_hist in
+    let get (h : int array) d = if d < Array.length h then h.(d) else 0 in
+    List.for_all
+      (fun d -> get a.Ilp.Stats.depth_hist d = get b.Ilp.Stats.depth_hist d)
+      (List.init (max la lb) (fun d -> d))
+  in
+  hist_eq
+  && { a with Ilp.Stats.depth_hist = [||] }
+     = { b with Ilp.Stats.depth_hist = [||] }
+
+let gen_stats_ints = QCheck2.Gen.(list_size (int_range 1 24) (int_range 0 99))
+
+let prop_stats_merge_commutative =
+  QCheck2.Test.make ~name:"Stats.merge is commutative" ~count:200
+    QCheck2.Gen.(pair gen_stats_ints gen_stats_ints)
+    (fun (xs, ys) ->
+      let a = mk_stats xs and b = mk_stats ys in
+      stats_eq (Ilp.Stats.merge a b) (Ilp.Stats.merge b a))
+
+let prop_stats_merge_associative =
+  QCheck2.Test.make ~name:"Stats.merge is associative" ~count:200
+    QCheck2.Gen.(triple gen_stats_ints gen_stats_ints gen_stats_ints)
+    (fun (xs, ys, zs) ->
+      let a = mk_stats xs and b = mk_stats ys and c = mk_stats zs in
+      stats_eq
+        (Ilp.Stats.merge a (Ilp.Stats.merge b c))
+        (Ilp.Stats.merge (Ilp.Stats.merge a b) c))
+
+let test_trace_ring () =
+  let ring = Ilp.Trace.ring 100_000 in
+  let options = { Ilp.Solver.default with Ilp.Solver.trace = Some ring } in
+  let r = Ilp.Solver.solve ~options (assignment_model ()) in
+  let events = List.map snd (Ilp.Trace.events ring) in
+  let nodes =
+    List.length
+      (List.filter (function Ilp.Trace.Node _ -> true | _ -> false) events)
+  in
+  check_int "one Node event per search node" r.Ilp.Solver.nodes nodes;
+  check_bool "an Incumbent event carries the optimum" true
+    (List.exists
+       (function
+         | Ilp.Trace.Incumbent { objective; _ } ->
+             Some objective = r.Ilp.Solver.objective
+         | _ -> false)
+       events);
+  check_bool "timestamps are monotone non-decreasing" true
+    (let ts = List.map fst (Ilp.Trace.events ring) in
+     List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+       (List.tl ts))
+
+let test_trace_jsonl () =
+  let path = Filename.temp_file "ilp_trace" ".jsonl" in
+  let sink = Ilp.Trace.file path in
+  let options = { Ilp.Solver.default with Ilp.Solver.trace = Some sink } in
+  let r = Ilp.Solver.solve ~options (assignment_model ()) in
+  Ilp.Trace.close sink;
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove path;
+  check_bool "one JSONL line per event, at least one per node" true
+    (List.length lines >= r.Ilp.Solver.nodes);
+  check_bool "every line is a {\"t\":...} object" true
+    (List.for_all
+       (fun l ->
+         String.length l > 6
+         && String.sub l 0 5 = "{\"t\":"
+         && l.[String.length l - 1] = '}')
+       lines)
+
 let () =
   Alcotest.run "ilp"
     [
@@ -1122,4 +1350,17 @@ let () =
         [ Alcotest.test_case "deques" `Quick test_deques ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_parallel_matches_brute_force ] );
+      ( "stats",
+        [
+          Alcotest.test_case "sequential solve" `Quick test_stats_sequential;
+          Alcotest.test_case "jobs-invariant counters" `Quick
+            test_stats_parallel_jobs_invariant;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_stats_merge_commutative; prop_stats_merge_associative ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring sink" `Quick test_trace_ring;
+          Alcotest.test_case "jsonl sink" `Quick test_trace_jsonl;
+        ] );
     ]
