@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test bench bench-json bench-diff ci clean
+.PHONY: all build test bench bench-json bench-diff perf ci clean
 
 all: build
 
@@ -22,7 +22,7 @@ bench-json:
 		dune exec bench/main.exe -- json
 
 # Bench regression diff: run the smoke sweep at the committed 2 s budget,
-# write a fresh schema-v3 snapshot to _build/bench_smoke.json, then diff it
+# write a fresh schema-v4 snapshot to _build/bench_smoke.json, then diff it
 # against the committed BENCH_solver.json.  Exits non-zero when any
 # (circuit, k) row's design area regressed or proven optimality was lost;
 # node-count / gap / time / phase-share drift is reported as warnings.
@@ -35,12 +35,21 @@ bench-diff:
 		dune exec bench/main.exe -- diff \
 			$(CURDIR)/BENCH_solver.json $(CURDIR)/_build/bench_smoke.json
 
+# Kernel micro-benchmark: simplex re-solve iterations/s and propagation
+# fixpoint sweeps/s on a fixed instance (tseng k=1).  Non-gating — rates
+# are machine-dependent — but the report is kept in _build/perf_micro.txt
+# so CI can upload it next to bench_diff.txt for trend eyeballing.
+perf:
+	dune exec bench/main.exe -- perf | tee $(CURDIR)/_build/perf_micro.txt
+
 # Fast gate for every change: build, unit tests, then the bench smoke +
 # regression diff above — the smoke asserts the solver still proves tseng
 # k=1 optimal at the 2 s budget and that no (circuit, k) row's design area
 # regressed vs the committed BENCH_solver.json, and the diff report
 # classifies every other drift (~1 min: it re-runs every committed sweep
-# at 2 s/ILP).
+# at 2 s/ILP).  The perf micro-rates ride along non-gating (`|| true`
+# lives in the CI step, not here, so interactive `make perf` still
+# reports failures).
 ci: build test bench-diff
 
 clean:

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- json         -- solver perf -> BENCH_solver.json
      dune exec bench/main.exe -- smoke        -- CI gate vs the committed snapshot
      dune exec bench/main.exe -- diff A B     -- regression diff of two snapshots
+     dune exec bench/main.exe -- perf         -- kernel micro-rates (non-gating)
 
    The ILP budget per instance defaults to 10 s (the paper allowed 24 CPU
    hours per instance on CPLEX 6.0); override with ADVBIST_BENCH_BUDGET
@@ -399,7 +400,7 @@ let dirty_entries ~ignore_path =
   with Unix.Unix_error _ | Sys_error _ -> []
 
 (* One full k-sweep per circuit, with solver stats on, assembled into a
-   schema-v3 snapshot (Advbist.Bench_snapshot) — the shared measurement
+   schema-v4 snapshot (Advbist.Bench_snapshot) — the shared measurement
    core of the [json] and [smoke] arms. *)
 let run_snapshot ~tag () =
   let started = Unix.gettimeofday () in
@@ -434,6 +435,11 @@ let run_snapshot ~tag () =
                         area = o.Advbist.Synth.area;
                         overhead_pct = row.Advbist.Synth.overhead_pct;
                         gap_pct = o.Advbist.Synth.gap_pct;
+                        nodes_per_sec =
+                          (if o.Advbist.Synth.solve_time > 0.0 then
+                             float_of_int o.Advbist.Synth.nodes
+                             /. o.Advbist.Synth.solve_time
+                           else 0.0);
                         phase_s =
                           (match o.Advbist.Synth.stats with
                           | Some st -> Ilp.Stats.phases st
@@ -444,7 +450,7 @@ let run_snapshot ~tag () =
       Circuits.Suite.all
   in
   {
-    Advbist.Bench_snapshot.version = 3;
+    Advbist.Bench_snapshot.version = 4;
     commit = git_commit ();
     budget_s = budget;
     jobs;
@@ -588,6 +594,68 @@ let smoke () =
     exit 1
   end
 
+(* ------------------------------------------------- kernel micro-benchmark *)
+
+(* `perf` arm: allocation-free kernel rates on a fixed instance (tseng
+   k=1), for the CI artifact next to bench_diff.txt.  Two numbers:
+
+   - simplex re-solve iterations/s: the warm dual-simplex engine is
+     driven through a deterministic cycle of bound tightenings and
+     re-solves (the node-LP access pattern, minus the search around it);
+   - propagation sweeps/s: full worklist fixpoints over the presolved
+     model's rows via Ilp.Solver.propagation_rate.
+
+   Non-gating by design: rates are machine-dependent, so the artifact is
+   for eyeballing trends across CI runs, not a pass/fail check. *)
+let perf () =
+  let p =
+    match Circuits.Suite.find "tseng" with
+    | Some p -> p
+    | None ->
+        prerr_endline "perf: tseng circuit missing";
+        exit 1
+  in
+  let e = Advbist.Encoding.build p ~n_regs:(Dfg.Problem.min_registers p) ~k:1 in
+  let model, _ = Ilp.Presolve.strengthen e.Advbist.Encoding.model in
+  Printf.printf "perf: %s\n" (Ilp.Model.stats model);
+  (* simplex: warm re-solves under a rolling window of 0/1 bound fixes *)
+  (match Ilp.Simplex.instance_of_model model with
+  | None -> Printf.printf "perf: simplex engine unavailable (unbounded vars)\n"
+  | Some inst ->
+      ignore (Ilp.Simplex.resolve ~max_iters:20_000 inst);
+      let n = Ilp.Model.n_vars model in
+      let lb = Ilp.Model.lower_bounds model
+      and ub = Ilp.Model.upper_bounds model in
+      let resolves = 2_000 in
+      let iters0 = Ilp.Simplex.iters inst in
+      let t0 = Unix.gettimeofday () in
+      for r = 0 to resolves - 1 do
+        (* fix a sliding pair of binaries, re-solve, release them — a
+           deterministic stand-in for dive-and-backtrack bound traffic *)
+        let v1 = r mod n and v2 = (7 * r + 3) mod n in
+        Ilp.Simplex.set_bounds inst v1 ~lo:(float_of_int ub.(v1))
+          ~up:(float_of_int ub.(v1));
+        Ilp.Simplex.set_bounds inst v2 ~lo:(float_of_int lb.(v2))
+          ~up:(float_of_int lb.(v2));
+        ignore (Ilp.Simplex.resolve ~max_iters:40 inst);
+        Ilp.Simplex.set_bounds inst v1 ~lo:(float_of_int lb.(v1))
+          ~up:(float_of_int ub.(v1));
+        Ilp.Simplex.set_bounds inst v2 ~lo:(float_of_int lb.(v2))
+          ~up:(float_of_int ub.(v2))
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let iters = Ilp.Simplex.iters inst - iters0 in
+      Printf.printf
+        "perf: simplex %d re-solves, %d iters in %.3fs = %.0f resolves/s, \
+         %.0f iters/s\n"
+        resolves iters dt
+        (float_of_int resolves /. dt)
+        (float_of_int iters /. dt));
+  (* propagation: full fixpoint sweeps on the same model *)
+  let sweeps = 2_000 in
+  let rate = Ilp.Solver.propagation_rate model ~sweeps in
+  Printf.printf "perf: propagation %d sweeps = %.0f sweeps/s\n" sweeps rate
+
 (* Snapshot regression diff: FAIL on area/optimality/coverage losses,
    warn on node-count, gap, time and phase-share drift. *)
 let diff_cmd () =
@@ -622,6 +690,7 @@ let () =
   if what = "smoke" then smoke ();
   if what = "json" then bench_json ();
   if what = "diff" then diff_cmd ();
+  if what = "perf" then perf ();
   if what = "all" || what = "tables" then begin
     table1 ();
     table2 ();

@@ -39,6 +39,19 @@ let cuts_arg =
           "Root cut loop (lifted cover + clique cuts appended before \
            branching).  Default: on.")
 
+let pricing_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("dantzig", Ilp.Simplex.Dantzig); ("devex", Ilp.Simplex.Devex) ])
+        Ilp.Simplex.Devex
+    & info [ "pricing" ] ~docv:"dantzig|devex"
+        ~doc:
+          "Leaving-row pricing rule of the warm dual-simplex engine: \
+           $(b,devex) (default) reference-weight pricing, or $(b,dantzig) \
+           most-violated.  Both fall back to Bland's rule on stalls.")
+
 let sym_arg =
   Arg.(
     value
@@ -92,7 +105,8 @@ let load path =
       exit 1
 
 let solve_cmd =
-  let run path time_limit verbose portfolio cuts sym steal jobs stats trace_file =
+  let run path time_limit verbose portfolio cuts pricing sym steal jobs stats
+      trace_file =
     let { Ilp.Lp_parse.model; negated } = load path in
     Printf.printf "%s\n" (Ilp.Model.stats model);
     let trace = Option.map Ilp.Trace.file trace_file in
@@ -102,6 +116,7 @@ let solve_cmd =
         Ilp.Solver.time_limit;
         verbose;
         cuts;
+        pricing;
         sym;
         stats;
         trace;
@@ -169,8 +184,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve an integer program to optimality.")
     Term.(
       const run $ file_arg $ time_limit_arg $ verbose_arg $ portfolio_arg
-      $ cuts_arg $ sym_arg $ steal_arg $ jobs_arg $ stats_flag_arg
-      $ trace_arg)
+      $ cuts_arg $ pricing_arg $ sym_arg $ steal_arg $ jobs_arg
+      $ stats_flag_arg $ trace_arg)
 
 let relax_cmd =
   let run path =

@@ -1,4 +1,4 @@
-(* Bench snapshot file format (read v2/v3, write v3) and regression
+(* Bench snapshot file format (read v2/v3/v4, write v4) and regression
    diffing.  The JSON parser below covers exactly the subset the
    snapshots use (objects, arrays, strings, numbers, booleans, null) —
    enough to round-trip our own files without a JSON dependency. *)
@@ -11,6 +11,7 @@ type row = {
   area : int;
   overhead_pct : float;
   gap_pct : float;
+  nodes_per_sec : float;
   phase_s : (string * float) list;
 }
 
@@ -230,17 +231,29 @@ let as_arr name = function
 let schema_version = function
   | "advbist-solver-bench/2" -> 2
   | "advbist-solver-bench/3" -> 3
+  | "advbist-solver-bench/4" -> 4
   | s -> raise (Parse_error (Printf.sprintf "unknown schema %S" s))
 
+let derive_nodes_per_sec ~nodes ~time_s =
+  if time_s > 0.0 then float_of_int nodes /. time_s else 0.0
+
 let row_of_json j =
+  let time_s = as_num "time_s" (field "time_s" j) in
+  let nodes = as_int "nodes" (field "nodes" j) in
   {
     k = as_int "k" (field "k" j);
-    time_s = as_num "time_s" (field "time_s" j);
-    nodes = as_int "nodes" (field "nodes" j);
+    time_s;
+    nodes;
     optimal = as_bool "optimal" (field "optimal" j);
     area = as_int "area" (field "area" j);
     overhead_pct = as_num "overhead_pct" (field "overhead_pct" j);
     gap_pct = as_num "gap_pct" (field "gap_pct" j);
+    (* pre-v4 snapshots carry no throughput field; derive it so diffs
+       against old baselines still compare like with like *)
+    nodes_per_sec =
+      (match field_opt "nodes_per_sec" j with
+      | Some v -> as_num "nodes_per_sec" v
+      | None -> derive_nodes_per_sec ~nodes ~time_s);
     phase_s =
       (match field_opt "phase_s" j with
       | Some (Obj fields) ->
@@ -289,13 +302,13 @@ let of_file path =
   | contents -> of_string contents
   | exception Sys_error msg -> Error msg
 
-(* ---------- rendering (always v3) ---------- *)
+(* ---------- rendering (always v4) ---------- *)
 
 let to_string t =
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"advbist-solver-bench/3\",\n";
+  bpf "  \"schema\": \"advbist-solver-bench/4\",\n";
   bpf "  \"commit\": %S,\n" t.commit;
   bpf "  \"budget_s\": %g,\n" t.budget_s;
   bpf "  \"jobs\": %d,\n" t.jobs;
@@ -314,8 +327,9 @@ let to_string t =
           bpf
             "        { \"k\": %d, \"time_s\": %.3f, \"nodes\": %d, \
              \"optimal\": %b, \"area\": %d, \"overhead_pct\": %.2f, \
-             \"gap_pct\": %.2f"
-            r.k r.time_s r.nodes r.optimal r.area r.overhead_pct r.gap_pct;
+             \"gap_pct\": %.2f, \"nodes_per_sec\": %.1f"
+            r.k r.time_s r.nodes r.optimal r.area r.overhead_pct r.gap_pct
+            r.nodes_per_sec;
           (match r.phase_s with
           | [] -> ()
           | phases ->
@@ -379,6 +393,17 @@ let diff_row ~circuit (b : row) (c : row) =
     && pct_change ~from:b.time_s ~to_:c.time_s > 20.0
   then
     add Warn (Printf.sprintf "solve time %.3fs -> %.3fs" b.time_s c.time_s);
+  (* Node throughput: the machine-speed check that complements the
+     tree-size check above.  Only meaningful when both rows ran long
+     enough for the rate to be a rate, and the baseline measured one. *)
+  if
+    b.time_s >= 0.05 && c.time_s >= 0.05 && b.nodes_per_sec > 0.0
+    && pct_change ~from:b.nodes_per_sec ~to_:c.nodes_per_sec < -20.0
+  then
+    add Warn
+      (Printf.sprintf "node throughput %.0f -> %.0f nodes/s (%+.0f%%)"
+         b.nodes_per_sec c.nodes_per_sec
+         (pct_change ~from:b.nodes_per_sec ~to_:c.nodes_per_sec));
   (match (phase_shares b.phase_s, phase_shares c.phase_s) with
   | [], _ | _, [] -> ()
   | bs, cs ->

@@ -1,12 +1,14 @@
 (** Solver bench snapshots: the on-disk JSON schema behind
     [BENCH_solver.json], and regression diffing between two snapshots.
 
-    The writer emits schema version 3 ([advbist-solver-bench/3]), which
-    extends version 2 with an optional per-row [phase_s] object of
-    solver phase timings (as reported by {!Ilp.Stats.phases}).  The
-    parser reads versions 2 and 3; version-2 rows parse with an empty
-    [phase_s].  Parsing is restricted to the subset of JSON these
-    snapshots use — it is a file format, not a general JSON library. *)
+    The writer emits schema version 4 ([advbist-solver-bench/4]), which
+    extends version 3 (optional per-row [phase_s] object of solver phase
+    timings, as reported by {!Ilp.Stats.phases}) with a derived per-row
+    [nodes_per_sec] throughput.  The parser reads versions 2, 3 and 4;
+    version-2 rows parse with an empty [phase_s], and rows without a
+    [nodes_per_sec] field derive it as [nodes / time_s].  Parsing is
+    restricted to the subset of JSON these snapshots use — it is a file
+    format, not a general JSON library. *)
 
 type row = {
   k : int;
@@ -16,6 +18,9 @@ type row = {
   area : int;
   overhead_pct : float;
   gap_pct : float;
+  nodes_per_sec : float;
+      (** node throughput; derived as [nodes / time_s] when the snapshot
+          predates v4 (0 when [time_s] is 0) *)
   phase_s : (string * float) list;
       (** per-phase seconds, in emission order; [[]] when absent (v2) *)
 }
@@ -31,7 +36,7 @@ type circuit = {
 type config = { portfolio : bool; cuts : bool; lp : string }
 
 type t = {
-  version : int;  (** schema version this snapshot was parsed from / 3 *)
+  version : int;  (** schema version this snapshot was parsed from *)
   commit : string;
   budget_s : float;
   jobs : int;
@@ -44,7 +49,7 @@ val of_string : string -> (t, string) result
 val of_file : string -> (t, string) result
 
 val to_string : t -> string
-(** Rendered as schema version 3, regardless of [version]; parsing the
+(** Rendered as schema version 4, regardless of [version]; parsing the
     result back and rendering again is a fixpoint. *)
 
 (** {2 Regression diffing} *)
@@ -69,9 +74,12 @@ val diff : baseline:t -> current:t -> finding list
     rows both snapshots prove optimal — on a budget-limited row the
     count is machine throughput, not tree size), the
     optimality gap grew by more than 2 points, a row's solve time grew
-    by more than 20% (and at least 0.1 s), a phase's share of the solve
-    time shifted by more than 10 points (when both snapshots carry
-    phase timings), or [current] has rows the baseline lacks.
+    by more than 20% (and at least 0.1 s), node throughput
+    ([nodes_per_sec]) dropped by more than 20% (only when both rows ran
+    at least 0.05 s and the baseline measured a nonzero rate), a phase's
+    share of the solve time shifted by more than 10 points (when both
+    snapshots carry phase timings), or [current] has rows the baseline
+    lacks.
 
     Findings are ordered circuit-by-circuit with failures first. *)
 

@@ -75,14 +75,15 @@ let lp_mode model =
   if Ilp.Model.n_constraints model <= 1500 then Ilp.Solver.Lp_root
   else Ilp.Solver.Lp_never
 
-let solver_options ?time_limit ?node_limit ?(stats = false) ?trace ~sym
-    encoding warm =
+let solver_options ?time_limit ?node_limit ?(stats = false) ?trace
+    ?(pricing = Ilp.Simplex.Devex) ~sym encoding warm =
   {
     Ilp.Solver.default with
     Ilp.Solver.time_limit;
     node_limit;
     stats;
     trace;
+    pricing;
     lp = lp_mode encoding.Encoding.model;
     (* The BIST encodings' LP relaxation is far weaker than cutoff-driven
        propagation (the integer rounding in the bound tightening does the
@@ -122,14 +123,16 @@ let stamp_presolve (r : Ilp.Solver.outcome) presolve_s =
   | None -> ()
 
 let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace
+    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace ?pricing
     (p : Dfg.Problem.t) =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build_reference ?symmetry p ~n_regs in
   let* d0 = Heuristic.netlist p in
   let* d0 = align_to_clique p d0 in
   let warm = Result.to_option (Encoding.vector_of_netlist e d0) in
-  let options = solver_options ?time_limit ?node_limit ?stats ?trace ~sym e warm in
+  let options =
+    solver_options ?time_limit ?node_limit ?stats ?trace ?pricing ~sym e warm
+  in
   (* presolve keeps variable indices, so decoding solutions still works *)
   let t_pre = Unix.gettimeofday () in
   let model, _pstats = Ilp.Presolve.strengthen e.Encoding.model in
@@ -154,7 +157,7 @@ let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
         }
 
 let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace ?seed
+    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace ?pricing ?seed
     (p : Dfg.Problem.t) ~k =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build ?symmetry p ~n_regs ~k in
@@ -194,7 +197,7 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
     | None, s -> (s, None)
   in
   let options =
-    solver_options ?time_limit ?node_limit ?stats ?trace ~sym e warm
+    solver_options ?time_limit ?node_limit ?stats ?trace ?pricing ~sym e warm
   in
   let options = { options with Ilp.Solver.incumbent_start = incumbent } in
   (* presolve keeps variable indices, so decoding solutions still works *)
@@ -254,10 +257,10 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
 type sweep_row = { k : int; outcome : outcome; overhead_pct : float }
 
 let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
-    ?(steal = true) ?stats ?trace p =
+    ?(steal = true) ?stats ?trace ?pricing p =
   let* reference =
     reference ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal ?stats
-      ?trace p
+      ?trace ?pricing p
   in
   let n = Dfg.Problem.n_modules p in
   (* The sweep is sequential in k so each instance can be seeded with the
@@ -270,7 +273,7 @@ let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
     else
       let* outcome =
         synthesize ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal
-          ?stats ?trace ~seed p ~k
+          ?stats ?trace ?pricing ~seed p ~k
       in
       let overhead_pct =
         Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area

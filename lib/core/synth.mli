@@ -41,7 +41,7 @@ type reference = {
 val reference :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
   ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
-  ?stats:bool -> ?trace:Ilp.Trace.sink ->
+  ?stats:bool -> ?trace:Ilp.Trace.sink -> ?pricing:Ilp.Simplex.pricing ->
   Dfg.Problem.t ->
   (reference, string) result
 (** Area-optimal non-BIST data path (registers all plain + minimal mux
@@ -51,12 +51,13 @@ val reference :
     encoding's verified orbits to the solver for lex rows and orbital
     fixing.  [jobs >= 2] with [steal] (default true) runs the
     work-stealing parallel tree search ({!Ilp.Solver.solve_parallel})
-    unless [portfolio] is set. *)
+    unless [portfolio] is set.  [pricing] selects the warm LP engine's
+    leaving-row rule (default {!Ilp.Simplex.Devex}). *)
 
 val synthesize :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
   ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
-  ?stats:bool -> ?trace:Ilp.Trace.sink ->
+  ?stats:bool -> ?trace:Ilp.Trace.sink -> ?pricing:Ilp.Simplex.pricing ->
   ?seed:Datapath.Netlist.t -> Dfg.Problem.t -> k:int ->
   (outcome, string) result
 (** [portfolio] races diverse solver configurations with a shared
@@ -88,6 +89,7 @@ type sweep_row = {
 val sweep :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool -> ?jobs:int ->
   ?sym:bool -> ?steal:bool -> ?stats:bool -> ?trace:Ilp.Trace.sink ->
+  ?pricing:Ilp.Simplex.pricing ->
   Dfg.Problem.t ->
   (reference * sweep_row list, string) result
 (** One design per k-test session, k = 1 .. N (N = number of modules) —

@@ -67,6 +67,16 @@ let bounds m v =
 
 let is_binary m v = bounds m v = (0, 1)
 
+(* Whole-bound vectors as fresh arrays: callers (the solver's search
+   state) mutate them as the branch-and-bound domain store. *)
+let lower_bounds m =
+  let _, lbs, _ = freeze m in
+  Array.copy lbs
+
+let upper_bounds m =
+  let _, _, ubs = freeze m in
+  Array.copy ubs
+
 let add m ?name expr sense rhs =
   let cname =
     match name with

@@ -37,6 +37,12 @@ val var_name : t -> var -> string
 val bounds : t -> var -> int * int
 val is_binary : t -> var -> bool
 
+val lower_bounds : t -> int array
+val upper_bounds : t -> int array
+(** The whole bound vectors as fresh arrays (one entry per variable, index
+    order).  Callers may mutate them freely — {!Solver} uses them directly
+    as its branch-and-bound domain store. *)
+
 (** {1 Constraints} *)
 
 val add : t -> ?name:string -> Linexpr.t -> sense -> int -> unit

@@ -6,69 +6,112 @@ type stats = {
   strengthened_coefs : int;
 }
 
-(* Internal row representation: sum coef*var <= rhs. *)
-type row = { mutable terms : (int * int) list; mutable rhs : int }
+(* Internal rows are one flat CSR block of normalized [sum coef*var <= rhs]
+   rows, the same layout as the solver's propagation kernel: row [i]'s
+   terms live in [row_coef]/[row_var] between [row_start.(i)] and
+   [row_start.(i + 1)], its right-hand side in [row_rhs.(i)].  The
+   presolve passes below are plain array sweeps over this block — no
+   per-row boxing, no allocation in the fixpoint loop. *)
+type rows = {
+  row_start : int array;  (* n_rows + 1 entries *)
+  row_coef : int array;
+  row_var : int array;
+  row_rhs : int array;  (* mutated by coefficient strengthening *)
+  n_rows : int;
+}
 
 let rows_of_model m =
-  let rows = ref [] in
+  let cs = Model.constraints m in
+  let n_rows = ref 0 and nnz = ref 0 in
+  Array.iter
+    (fun (c : Model.constr) ->
+      let len = List.length (Linexpr.terms c.Model.expr) in
+      match c.Model.sense with
+      | Model.Le | Model.Ge ->
+          incr n_rows;
+          nnz := !nnz + len
+      | Model.Eq ->
+          n_rows := !n_rows + 2;
+          nnz := !nnz + (2 * len))
+    cs;
+  let n_rows = !n_rows in
+  let row_start = Array.make (n_rows + 1) 0 in
+  let row_coef = Array.make (max 1 !nnz) 0 in
+  let row_var = Array.make (max 1 !nnz) 0 in
+  let row_rhs = Array.make (max 1 n_rows) 0 in
+  let r = ref 0 and p = ref 0 in
+  let emit sign terms rhs =
+    row_rhs.(!r) <- rhs;
+    List.iter
+      (fun (a, v) ->
+        row_coef.(!p) <- sign * a;
+        row_var.(!p) <- v;
+        incr p)
+      terms;
+    incr r;
+    row_start.(!r) <- !p
+  in
   Array.iter
     (fun (c : Model.constr) ->
       let terms = Linexpr.terms c.Model.expr in
-      let neg = List.map (fun (a, v) -> (-a, v)) terms in
       match c.Model.sense with
-      | Model.Le -> rows := { terms; rhs = c.Model.rhs } :: !rows
-      | Model.Ge -> rows := { terms = neg; rhs = -c.Model.rhs } :: !rows
+      | Model.Le -> emit 1 terms c.Model.rhs
+      | Model.Ge -> emit (-1) terms (-c.Model.rhs)
       | Model.Eq ->
-          rows :=
-            { terms = neg; rhs = -c.Model.rhs }
-            :: { terms; rhs = c.Model.rhs }
-            :: !rows)
-    (Model.constraints m);
-  Array.of_list (List.rev !rows)
+          emit 1 terms c.Model.rhs;
+          emit (-1) terms (-c.Model.rhs))
+    cs;
+  { row_start; row_coef; row_var; row_rhs; n_rows }
 
-let min_activity lb ub (r : row) =
-  List.fold_left
-    (fun acc (a, v) -> acc + (if a > 0 then a * lb.(v) else a * ub.(v)))
-    0 r.terms
+let min_activity lb ub t i =
+  let acc = ref 0 in
+  for p = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+    let a = t.row_coef.(p) and v = t.row_var.(p) in
+    acc := !acc + if a > 0 then a * lb.(v) else a * ub.(v)
+  done;
+  !acc
 
-let max_activity lb ub (r : row) =
-  List.fold_left
-    (fun acc (a, v) -> acc + (if a > 0 then a * ub.(v) else a * lb.(v)))
-    0 r.terms
+let max_activity lb ub t i =
+  let acc = ref 0 in
+  for p = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+    let a = t.row_coef.(p) and v = t.row_var.(p) in
+    acc := !acc + if a > 0 then a * ub.(v) else a * lb.(v)
+  done;
+  !acc
 
 (* Bound tightening to fixpoint; returns false on proven infeasibility. *)
-let tighten lb ub rows =
+let tighten lb ub t =
   let changed = ref true in
   let feasible = ref true in
   while !changed && !feasible do
     changed := false;
-    Array.iter
-      (fun r ->
-        let minact = min_activity lb ub r in
-        if minact > r.rhs then feasible := false
-        else
-          let slack = r.rhs - minact in
-          List.iter
-            (fun (a, v) ->
-              if a > 0 then begin
-                let max_x = lb.(v) + (slack / a) in
-                if max_x < ub.(v) then begin
-                  ub.(v) <- max_x;
-                  changed := true;
-                  if ub.(v) < lb.(v) then feasible := false
-                end
-              end
-              else begin
-                let na = -a in
-                let min_x = ub.(v) - (slack / na) in
-                if min_x > lb.(v) then begin
-                  lb.(v) <- min_x;
-                  changed := true;
-                  if ub.(v) < lb.(v) then feasible := false
-                end
-              end)
-            r.terms)
-      rows
+    for i = 0 to t.n_rows - 1 do
+      let minact = min_activity lb ub t i in
+      if minact > t.row_rhs.(i) then feasible := false
+      else begin
+        let slack = t.row_rhs.(i) - minact in
+        for p = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+          let a = t.row_coef.(p) and v = t.row_var.(p) in
+          if a > 0 then begin
+            let max_x = lb.(v) + (slack / a) in
+            if max_x < ub.(v) then begin
+              ub.(v) <- max_x;
+              changed := true;
+              if ub.(v) < lb.(v) then feasible := false
+            end
+          end
+          else begin
+            let na = -a in
+            let min_x = ub.(v) - (slack / na) in
+            if min_x > lb.(v) then begin
+              lb.(v) <- min_x;
+              changed := true;
+              if ub.(v) < lb.(v) then feasible := false
+            end
+          end
+        done
+      end
+    done
   done;
   !feasible
 
@@ -81,8 +124,8 @@ let run m =
     ub.(v) <- u
   done;
   let lb0 = Array.copy lb and ub0 = Array.copy ub in
-  let rows = rows_of_model m in
-  let feasible = tighten lb ub rows in
+  let t = rows_of_model m in
+  let feasible = tighten lb ub t in
   let fixed = ref 0 and tightened = ref 0 in
   if feasible then
     for v = 0 to n - 1 do
@@ -91,39 +134,37 @@ let run m =
     done;
   (* redundant rows and coefficient strengthening under tightened bounds *)
   let dropped = ref 0 and strengthened = ref 0 in
-  let kept = ref [] in
+  let keep = Array.make (max 1 t.n_rows) false in
   if feasible then
-    Array.iter
-      (fun r ->
-        let maxact = max_activity lb ub r in
-        if maxact <= r.rhs then incr dropped
-        else begin
-          (* Coefficient strengthening (one application per row; running
-             presolve again applies more).  For a <= row with binary x_j,
-             coefficient a_j > 0 and d = maxact - rhs > 0: shifting both
-             a_j and rhs down by delta keeps the x_j = 1 points identical,
-             and keeps the x_j = 0 points identical as long as
-             maxact - a_j <= rhs - delta, i.e. delta <= a_j - d.  The
-             maximal valid reduction is therefore delta = a_j - d (needs
-             a_j > d), which shrinks the coefficient exactly to d. *)
-          let d = maxact - r.rhs in
-          let rec apply acc = function
-            | [] -> None
-            | (a, v) :: rest when lb.(v) = 0 && ub.(v) = 1 && a > d ->
-                Some
-                  {
-                    terms = List.rev_append acc ((d, v) :: rest);
-                    rhs = r.rhs - (a - d);
-                  }
-            | t :: rest -> apply (t :: acc) rest
-          in
-          match apply [] r.terms with
-          | Some r' ->
-              incr strengthened;
-              kept := r' :: !kept
-          | None -> kept := r :: !kept
-        end)
-      rows;
+    for i = 0 to t.n_rows - 1 do
+      let maxact = max_activity lb ub t i in
+      if maxact <= t.row_rhs.(i) then incr dropped
+      else begin
+        keep.(i) <- true;
+        (* Coefficient strengthening (one application per row; running
+           presolve again applies more).  For a <= row with binary x_j,
+           coefficient a_j > 0 and d = maxact - rhs > 0: shifting both
+           a_j and rhs down by delta keeps the x_j = 1 points identical,
+           and keeps the x_j = 0 points identical as long as
+           maxact - a_j <= rhs - delta, i.e. delta <= a_j - d.  The
+           maximal valid reduction is therefore delta = a_j - d (needs
+           a_j > d), which shrinks the coefficient exactly to d. *)
+        let d = maxact - t.row_rhs.(i) in
+        let p = ref t.row_start.(i) in
+        let stop = t.row_start.(i + 1) in
+        let hit = ref false in
+        while (not !hit) && !p < stop do
+          let a = t.row_coef.(!p) and v = t.row_var.(!p) in
+          if lb.(v) = 0 && ub.(v) = 1 && a > d then begin
+            t.row_coef.(!p) <- d;
+            t.row_rhs.(i) <- t.row_rhs.(i) - (a - d);
+            incr strengthened;
+            hit := true
+          end;
+          incr p
+        done
+      end
+    done;
   let stats =
     {
       infeasible = not feasible;
@@ -133,14 +174,14 @@ let run m =
       strengthened_coefs = !strengthened;
     }
   in
-  (stats, lb, ub, List.rev !kept)
+  (stats, lb, ub, t, keep)
 
 let analyze m =
-  let stats, _, _, _ = run m in
+  let stats, _, _, _, _ = run m in
   stats
 
 let strengthen m =
-  let stats, lb, ub, rows = run m in
+  let stats, lb, ub, t, keep = run m in
   let m' = Model.create ~name:(Model.name m ^ "-presolved") () in
   let n = Model.n_vars m in
   for v = 0 to n - 1 do
@@ -153,9 +194,15 @@ let strengthen m =
     (* explicit contradiction: 0 <= -1 *)
     Model.add_le m' ~name:"infeasible" Linexpr.zero (-1)
   else
-    List.iter
-      (fun r -> Model.add_le m' (Linexpr.of_list r.terms) r.rhs)
-      rows;
+    for i = 0 to t.n_rows - 1 do
+      if keep.(i) then begin
+        let terms = ref [] in
+        for p = t.row_start.(i + 1) - 1 downto t.row_start.(i) do
+          terms := (t.row_coef.(p), t.row_var.(p)) :: !terms
+        done;
+        Model.add_le m' (Linexpr.of_list !terms) t.row_rhs.(i)
+      end
+    done;
   Model.set_objective m' (Model.objective m);
   (m', stats)
 

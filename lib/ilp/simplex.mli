@@ -2,6 +2,12 @@
     simplex with a two-phase start (artificial basis), Dantzig pricing with a
     Bland's-rule anti-cycling fallback, and periodic basis refactorization.
 
+    All dense stores (basis inverse, bounds, costs, reduced costs, scratch
+    vectors) live in flat unboxed [Bigarray.Array1] float64 buffers and the
+    constraint matrix in a compressed sparse-column triplet, preallocated
+    with the state, so the inner loops (pivot updates, ratio tests, dot
+    products) are allocation-free and cache-linear.
+
     This is the LP oracle behind {!Solver}'s branch-and-bound bounding step
     and is usable on its own.  It works on floats; callers that need safe
     integer bounds should subtract a tolerance (see {!Solver}). *)
@@ -44,28 +50,46 @@ val problem_of_model :
 
 type instance
 
-val instance_of_problem : problem -> instance option
+type pricing =
+  | Dantzig  (** most-violated basic bound leaves *)
+  | Devex
+      (** reference-weight pricing: largest violation^2 / weight leaves;
+          weights grow with the pivot column and reset at refactorization.
+          Cuts warm re-solve iteration counts on degenerate LPs. *)
+
+val instance_of_problem : ?pricing:pricing -> problem -> instance option
 (** [None] when some variable bound is infinite (the all-slack dual-feasible
-    start needs every structural parked at a finite bound). *)
+    start needs every structural parked at a finite bound).  [pricing]
+    defaults to [Devex]. *)
 
 val instance_of_model :
-  ?lower:int array -> ?upper:int array -> Model.t -> instance option
+  ?pricing:pricing ->
+  ?lower:int array ->
+  ?upper:int array ->
+  Model.t ->
+  instance option
+
+val set_pricing : instance -> pricing -> unit
+(** Switch the leaving-row rule for subsequent {!resolve} calls. *)
 
 val set_bounds : instance -> int -> lo:float -> up:float -> unit
 (** Update one structural variable's bounds.  Preserves dual feasibility. *)
 
 val resolve : ?max_iters:int -> instance -> result
 (** Dual-simplex re-optimization from the current basis ([max_iters]
-    defaults to [256]).  Dantzig-style shortest-ratio entering choice with a
-    Bland's-rule fallback once the dual objective stalls; refactorizes every
-    512 pivots and audits the primal residual before declaring optimality.
-    [Infeasible] means the (dual unbounded) LP has no primal solution under
-    the current bounds; [Iteration_limit] leaves the instance usable. *)
+    defaults to [256]).  Leaving row by the instance's {!pricing} rule with
+    a Bland's-rule fallback once the dual objective stalls — the stall
+    counter is reset on every call, so a stalled parent solve never pins a
+    child's warm re-solve to Bland.  Refactorizes every 512 pivots and
+    audits the primal residual before declaring optimality.  [Infeasible]
+    means the (dual unbounded) LP has no primal solution under the current
+    bounds; [Iteration_limit] leaves the instance usable. *)
 
 val add_row : instance -> (int * float) list -> float -> unit
 (** [add_row t terms rhs] appends the cut [terms <= rhs] ([(var, coef)]
     pairs over structural variables).  The basis inverse is extended in
-    O(m^2) with the new slack basic, keeping the basis dual feasible. *)
+    O(m^2) with the new slack basic, keeping the basis dual feasible.
+    Stashed bases from before the call are invalidated. *)
 
 val nonbasic_reduced_costs : instance -> (int * bool * float) list
 (** After an [Optimal] {!resolve}: [(var, at_upper, d)] for each nonbasic
@@ -83,6 +107,27 @@ val n_rows : instance -> int
 val pivots : instance -> int
 (** Cumulative dual pivots over the instance's lifetime (unaffected by
     refactorization and {!restore}). *)
+
+val iters : instance -> int
+(** Cumulative dual-simplex iterations over the instance's lifetime
+    (pivots plus degenerate/repair iterations). *)
+
+val refactors : instance -> int
+(** Cumulative basis refactorizations over the instance's lifetime
+    (periodic refreshes, drift audits, restores and cold restarts). *)
+
+val stash : instance -> slot:int -> bool
+(** [stash t ~slot] copies the full warm-start image (basis, inverse,
+    primal values, reduced costs, bounds, devex weights) into a
+    preallocated slot, so every later sibling LP at a branch can restart
+    from the shared parent factorization instead of refactorizing.
+    Returns [false] (and stashes nothing) when [slot] is out of range or
+    the instance is too large for stashing to pay for itself. *)
+
+val unstash : instance -> slot:int -> bool
+(** [unstash t ~slot] restores the image saved by {!stash}.  O(m^2 + n)
+    blits, no refactorization.  Returns [false] when the slot is empty or
+    the instance's dimensions changed (e.g. {!add_row}) since the stash. *)
 
 type snapshot
 (** A saved basis (status + basic set), restorable after bound changes. *)

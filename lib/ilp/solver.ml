@@ -18,6 +18,7 @@ type options = {
   time_limit : float option;
   node_limit : int option;
   lp : lp_mode;
+  pricing : Simplex.pricing;
   cuts : bool;
   branch_order : int list option;
   prefer_high : bool;
@@ -38,6 +39,7 @@ let default =
     time_limit = None;
     node_limit = None;
     lp = Lp_root;
+    pricing = Simplex.Devex;
     cuts = true;
     branch_order = None;
     prefer_high = true;
@@ -51,34 +53,6 @@ let default =
     orbits = [];
     stats = false;
     trace = None;
-  }
-
-(* Internal row: `sum coefs.(i) * vars.(i) <= rhs`.  Eq model rows are
-   split into two Le rows; Ge rows are negated.  The terms live in two
-   parallel unboxed int arrays — propagation walks every term of every
-   touched row, and chasing (int * int) tuple pointers there dominated the
-   profile.  [minact] caches the row's minimal activity (sum of a*lb for
-   a > 0, a*ub for a < 0) and is maintained incrementally by every bound
-   change and its trail undo, so propagation never rescans the terms to
-   recompute it. *)
-type row = {
-  coefs : int array;
-  vars : int array;
-  mutable rhs : int;
-  mutable minact : int;
-  mutable stamp : int;
-      (* generation of the last (non-probing) min-activity change; lets
-         probing skip variables whose rows haven't moved since their last
-         probe *)
-}
-
-let row_of_terms terms rhs =
-  {
-    coefs = Array.map fst terms;
-    vars = Array.map snd terms;
-    rhs;
-    minact = 0;
-    stamp = 1;
   }
 
 exception Out_of_time
@@ -99,21 +73,72 @@ type lp_state = {
          reduced costs can drive variable fixing *)
 }
 
+(* Search state.  The per-node hot structures are flat int arrays:
+
+   - Rows live in one CSR block ([row_start]/[row_coef]/[row_var], with
+     [row_rhs]/[row_minact]/[row_stamp] per row): `sum coefs * vars <=
+     rhs`, Eq model rows split into two Le rows, Ge rows negated.
+     Ordinary rows are [0 .. n_rows-1]; the objective cutoff row, when the
+     model has an objective, is row [n_rows] in the same block — uniform
+     indexing keeps [propagate_row]/[bump_conflict] branch-free.  [minact]
+     caches the row's minimal activity (sum of a*lb for a > 0, a*ub for
+     a < 0), maintained incrementally by every bound change and its undo.
+   - Occurrence lists are CSR too: [occ_start]/[occ_row] (deduped row
+     indices per variable, driving worklist enqueueing) and the signed
+     pairs [occ_pos_*]/[occ_neg_*] driving the incremental min-activity
+     updates on lower/upper bound changes.
+   - The trail is two parallel int arrays ([(v lsl 1) lor is_lb], old
+     bound) grown by doubling — no per-push block allocation.
+   - The propagation worklist is a power-of-two ring buffer with
+     generation-stamped membership; a row is in the queue at most once,
+     so the ring never overflows.
+
+   Everything a node touches is therefore preallocated with the search
+   (per worker in [solve_parallel]): the steady-state DFS loop allocates
+   nothing. *)
 type search = {
   model : Model.t;
   n : int;
   lb : int array;
   ub : int array;
-  rows : row array;
-  occ_rows : int array array;  (* var -> deduped row indices, for the worklist *)
-  occ_pos_ri : int array array;  (* var -> row indices with coef > 0 ... *)
-  occ_pos_a : int array array;  (* ... and the matching coefficients *)
-  occ_neg_ri : int array array;  (* var -> row indices with coef < 0 ... *)
-  occ_neg_a : int array array;  (* ... and the matching coefficients *)
+  n_rows : int;  (* ordinary rows; the cutoff row is index [n_rows] *)
+  has_obj_row : bool;
+  row_start : int array;  (* n_rows + 2 *)
+  row_coef : int array;
+  row_var : int array;
+  row_rhs : int array;
+  row_minact : int array;
+  row_stamp : int array;
+      (* generation of the last (non-probing) min-activity change; lets
+         probing skip variables whose rows haven't moved since their last
+         probe *)
+  occ_start : int array;  (* n + 1 *)
+  occ_row : int array;  (* deduped row indices, ascending *)
+  occ_pos_start : int array;
+  occ_pos_ri : int array;  (* row indices with coef > 0 ... *)
+  occ_pos_a : int array;  (* ... and the matching coefficients *)
+  occ_neg_start : int array;
+  occ_neg_ri : int array;
+  occ_neg_a : int array;
   obj_terms : (int * int) array;
   objc : int array;  (* var -> objective coefficient (0 when absent) *)
-  obj_row : row option;  (* objective cutoff, rhs tightened on incumbents *)
-  trail : (int * int * bool) Stack.t;  (* (var, old bound, is_lb) *)
+  mutable obj_dirty : bool;
+      (* the cutoff row's minact or rhs moved since its last scan; clean
+         means a rescan cannot deduce anything new, so [obj_pass] skips
+         the O(obj nnz) row walk on the (common) nodes that never touch
+         an objective variable's minact side *)
+  orbits_arr : Symmetry.orbit array;  (* [opts.orbits], array-indexed *)
+  var_orbit_start : int array;  (* n + 1: CSR var -> orbits containing it *)
+  var_orbit_idx : int array;
+  orbit_dirty : bool array;  (* orbit is in the dirty stack *)
+  orbit_stack : int array;
+  mutable orbit_top : int;
+      (* orbit enforcement is worklist-driven like rows: a bound change
+         on an orbit member pushes its orbit; clean orbits stay at their
+         canonical fixpoint and are never rescanned *)
+  mutable trail_entry : int array;  (* (var lsl 1) lor is_lb *)
+  mutable trail_old : int array;  (* previous bound value *)
+  mutable trail_len : int;
   opts : options;
   started : float;
   mutable incumbent : int array option;
@@ -122,7 +147,10 @@ type search = {
   mutable ticks : int;  (* row propagations, for the limit-check cadence *)
   mutable root_bound : int;
   mutable lp_st : lp_state option;
-  prop_queue : int Queue.t;  (* propagation worklist scratch, reused *)
+  prop_queue : int array;  (* ring buffer, power-of-two capacity *)
+  queue_mask : int;
+  mutable q_head : int;
+  mutable q_tail : int;
   prop_queued : int array;  (* row -> generation when last enqueued *)
   mutable prop_gen : int;
   probe_stamp : int array;  (* var -> change generation at last probe *)
@@ -133,6 +161,12 @@ type search = {
   mutable probe_skip : int;  (* nodes left to skip before probing again *)
   probe_depth : int;  (* deepest node level probing may fire at *)
   branch_seq : int array;
+  seq_pos : int array;
+      (* var -> index in [branch_seq] (a total permutation); lets [undo_to]
+         clamp [branch_head] when a restore re-widens an earlier variable *)
+  mutable branch_head : int;
+      (* first index of [branch_seq] that may still be unfixed; advanced
+         lazily by [pick_branch_var], only ever moved back by [undo_to] *)
   act : float array;  (* conflict-driven branching activity (VSIDS-style) *)
   mutable act_inc : float;
   value_hint : int array option;
@@ -144,58 +178,104 @@ let now () = Unix.gettimeofday ()
 
 (* --- trail + incremental activities ------------------------------------ *)
 
+let trail_push s v old is_lb =
+  let len = s.trail_len in
+  if len = Array.length s.trail_entry then begin
+    let cap = 2 * len in
+    let e = Array.make cap 0 and o = Array.make cap 0 in
+    Array.blit s.trail_entry 0 e 0 len;
+    Array.blit s.trail_old 0 o 0 len;
+    s.trail_entry <- e;
+    s.trail_old <- o
+  end;
+  Array.unsafe_set s.trail_entry len ((v lsl 1) lor Bool.to_int is_lb);
+  Array.unsafe_set s.trail_old len old;
+  s.trail_len <- len + 1
+
 let apply_lb_delta s v delta =
   if not s.no_stamp then s.change_gen <- s.change_gen + 1;
   let gen = s.change_gen and stamping = not s.no_stamp in
-  let ri = s.occ_pos_ri.(v) and aa = s.occ_pos_a.(v) in
-  for i = 0 to Array.length ri - 1 do
-    let r = s.rows.(ri.(i)) in
-    r.minact <- r.minact + (aa.(i) * delta);
-    if stamping then r.stamp <- gen
+  let minact = s.row_minact and stamp = s.row_stamp in
+  for i = s.occ_pos_start.(v) to s.occ_pos_start.(v + 1) - 1 do
+    let r = Array.unsafe_get s.occ_pos_ri i in
+    Array.unsafe_set minact r
+      (Array.unsafe_get minact r + (Array.unsafe_get s.occ_pos_a i * delta));
+    if stamping then Array.unsafe_set stamp r gen
   done;
-  let c = s.objc.(v) in
-  if c > 0 then
-    match s.obj_row with
-    | Some r -> r.minact <- r.minact + (c * delta)
-    | None -> ()
+  let c = Array.unsafe_get s.objc v in
+  if c > 0 && s.has_obj_row then begin
+    minact.(s.n_rows) <- minact.(s.n_rows) + (c * delta);
+    s.obj_dirty <- true
+  end
 
 let apply_ub_delta s v delta =
   if not s.no_stamp then s.change_gen <- s.change_gen + 1;
   let gen = s.change_gen and stamping = not s.no_stamp in
-  let ri = s.occ_neg_ri.(v) and aa = s.occ_neg_a.(v) in
-  for i = 0 to Array.length ri - 1 do
-    let r = s.rows.(ri.(i)) in
-    r.minact <- r.minact + (aa.(i) * delta);
-    if stamping then r.stamp <- gen
+  let minact = s.row_minact and stamp = s.row_stamp in
+  for i = s.occ_neg_start.(v) to s.occ_neg_start.(v + 1) - 1 do
+    let r = Array.unsafe_get s.occ_neg_ri i in
+    Array.unsafe_set minact r
+      (Array.unsafe_get minact r + (Array.unsafe_get s.occ_neg_a i * delta));
+    if stamping then Array.unsafe_set stamp r gen
   done;
-  let c = s.objc.(v) in
-  if c < 0 then
-    match s.obj_row with
-    | Some r -> r.minact <- r.minact + (c * delta)
-    | None -> ()
+  let c = Array.unsafe_get s.objc v in
+  if c < 0 && s.has_obj_row then begin
+    minact.(s.n_rows) <- minact.(s.n_rows) + (c * delta);
+    s.obj_dirty <- true
+  end
+
+(* Mark every orbit containing [v] dirty.  Only the forward path ([set_lb]
+   / [set_ub]) marks: the trail undo restores a state whose orbits were
+   already at fixpoint, so it applies the deltas directly and skips
+   this. *)
+let enqueue_orbits s v =
+  for i = s.var_orbit_start.(v) to s.var_orbit_start.(v + 1) - 1 do
+    let oi = Array.unsafe_get s.var_orbit_idx i in
+    if not (Array.unsafe_get s.orbit_dirty oi) then begin
+      Array.unsafe_set s.orbit_dirty oi true;
+      s.orbit_stack.(s.orbit_top) <- oi;
+      s.orbit_top <- s.orbit_top + 1
+    end
+  done
+
+let enqueue_all_orbits s =
+  s.orbit_top <- 0;
+  for oi = 0 to Array.length s.orbits_arr - 1 do
+    s.orbit_dirty.(oi) <- true;
+    s.orbit_stack.(oi) <- oi;
+    s.orbit_top <- oi + 1
+  done
 
 let set_lb s v value =
   if value > s.lb.(v) then begin
-    Stack.push (v, s.lb.(v), true) s.trail;
+    trail_push s v s.lb.(v) true;
     let delta = value - s.lb.(v) in
     s.lb.(v) <- value;
-    apply_lb_delta s v delta
+    apply_lb_delta s v delta;
+    enqueue_orbits s v
   end
 
 let set_ub s v value =
   if value < s.ub.(v) then begin
-    Stack.push (v, s.ub.(v), false) s.trail;
+    trail_push s v s.ub.(v) false;
     let delta = value - s.ub.(v) in
     s.ub.(v) <- value;
-    apply_ub_delta s v delta
+    apply_ub_delta s v delta;
+    enqueue_orbits s v
   end
 
-let mark s = Stack.length s.trail
+let mark s = s.trail_len
 
 let undo_to s m =
-  while Stack.length s.trail > m do
-    let v, old, is_lb = Stack.pop s.trail in
-    if is_lb then begin
+  while s.trail_len > m do
+    let len = s.trail_len - 1 in
+    s.trail_len <- len;
+    let e = Array.unsafe_get s.trail_entry len in
+    let old = Array.unsafe_get s.trail_old len in
+    let v = e lsr 1 in
+    let p = Array.unsafe_get s.seq_pos v in
+    if p < s.branch_head then s.branch_head <- p;
+    if e land 1 = 1 then begin
       let delta = old - s.lb.(v) in
       s.lb.(v) <- old;
       apply_lb_delta s v delta
@@ -229,9 +309,12 @@ let cutoff s =
 
 (* --- branching activity ------------------------------------------------- *)
 
-let bump_conflict s (r : row) =
+let bump_conflict s ri =
   let inc = s.act_inc in
-  Array.iter (fun v -> s.act.(v) <- s.act.(v) +. inc) r.vars;
+  for i = s.row_start.(ri) to s.row_start.(ri + 1) - 1 do
+    let v = Array.unsafe_get s.row_var i in
+    Array.unsafe_set s.act v (Array.unsafe_get s.act v +. inc)
+  done;
   s.act_inc <- inc *. 1.02;
   if s.act_inc > 1e100 then begin
     for v = 0 to s.n - 1 do
@@ -242,40 +325,59 @@ let bump_conflict s (r : row) =
 
 (* --- propagation ------------------------------------------------------- *)
 
-(* Bound tightening on one Le row; returns false on conflict, records
-   touched variables through [touch].  A row's own tightenings never move
-   its cached [minact] (positive-coefficient vars lose upper bound, which
-   the min-activity does not read, and symmetrically), so the slack
-   computed on entry stays valid throughout the scan. *)
-let propagate_row s (r : row) ~touch =
-  let minact = r.minact in
-  if minact > r.rhs then begin
-    bump_conflict s r;
+(* Worklist membership is generation-stamped: a row whose stamp equals the
+   current generation is in the ring.  Dequeuing resets the stamp so a row
+   can re-enter within the same fixpoint, exactly like the old queue. *)
+let enqueue_row s i =
+  if Array.unsafe_get s.prop_queued i <> s.prop_gen then begin
+    Array.unsafe_set s.prop_queued i s.prop_gen;
+    Array.unsafe_set s.prop_queue (s.q_tail land s.queue_mask) i;
+    s.q_tail <- s.q_tail + 1
+  end
+
+let touch s v =
+  for i = Array.unsafe_get s.occ_start v
+       to Array.unsafe_get s.occ_start (v + 1) - 1 do
+    enqueue_row s (Array.unsafe_get s.occ_row i)
+  done
+
+(* Bound tightening on one Le row; returns false on conflict, enqueues the
+   rows of every touched variable.  A row's own tightenings never move its
+   cached [minact] (positive-coefficient vars lose upper bound, which the
+   min-activity does not read, and symmetrically), so the slack computed
+   on entry stays valid throughout the scan. *)
+let propagate_row s ri =
+  let minact = Array.unsafe_get s.row_minact ri in
+  let rhs = Array.unsafe_get s.row_rhs ri in
+  if minact > rhs then begin
+    bump_conflict s ri;
     false
   end
   else begin
-    let slack = r.rhs - minact in
-    let coefs = r.coefs and vars = r.vars in
-    for i = 0 to Array.length coefs - 1 do
-      let a = coefs.(i) and v = vars.(i) in
+    let slack = rhs - minact in
+    for i = s.row_start.(ri) to s.row_start.(ri + 1) - 1 do
+      let a = Array.unsafe_get s.row_coef i
+      and v = Array.unsafe_get s.row_var i in
       (* Unit coefficients dominate these models; skipping the integer
          division for them is worth a branch. *)
       if a > 0 then begin
         (* a * (x - lb) <= slack *)
-        let max_x = s.lb.(v) + (if a = 1 then slack else slack / a) in
-        if max_x < s.ub.(v) then begin
+        let max_x =
+          Array.unsafe_get s.lb v + (if a = 1 then slack else slack / a)
+        in
+        if max_x < Array.unsafe_get s.ub v then begin
           set_ub s v max_x;
-          touch v
+          touch s v
         end
       end
       else begin
         (* (-a) * (ub - x) <= slack  =>  x >= ub - slack / (-a) *)
         let min_x =
-          s.ub.(v) - (if a = -1 then slack else slack / -a)
+          Array.unsafe_get s.ub v - (if a = -1 then slack else slack / -a)
         in
-        if min_x > s.lb.(v) then begin
+        if min_x > Array.unsafe_get s.lb v then begin
           set_lb s v min_x;
-          touch v
+          touch s v
         end
       end
     done;
@@ -293,7 +395,7 @@ let propagate_row s (r : row) ~touch =
    keeps at least one optimal solution, and the lex rows added at the root
    commit the search to that representative anyway.  Returns [false] on a
    canonical-order conflict. *)
-let orbit_pass s ~touch =
+let orbit_pass s =
   let ok = ref true in
   (* enforce value(a) >= value(b); after the ub clamp lb(b) <= ub(a) always
      holds, so the lb raise below can never cross *)
@@ -305,7 +407,7 @@ let orbit_pass s ~touch =
         (match s.stats with
         | Some st -> st.Stats.orbit_fixings <- st.Stats.orbit_fixings + 1
         | None -> ());
-        touch b
+        touch s b
       end
     end;
     if !ok && s.lb.(a) < s.lb.(b) then begin
@@ -313,110 +415,124 @@ let orbit_pass s ~touch =
       (match s.stats with
       | Some st -> st.Stats.orbit_fixings <- st.Stats.orbit_fixings + 1
       | None -> ());
-      touch a
+      touch s a
     end
   in
-  List.iter
-    (fun orbit ->
-      if !ok then
-        match orbit with
-        | Symmetry.Scalar vs ->
-            let m = Array.length vs in
+  (* Drain the dirty stack; a tightening made while an orbit is processed
+     re-pushes the owning orbit, so the loop runs to its own fixpoint. *)
+  while !ok && s.orbit_top > 0 do
+    s.orbit_top <- s.orbit_top - 1;
+    let oi = s.orbit_stack.(s.orbit_top) in
+    s.orbit_dirty.(oi) <- false;
+    match s.orbits_arr.(oi) with
+    | Symmetry.Scalar vs ->
+        let m = Array.length vs in
+        s.ticks <- s.ticks + 1;
+        for i = 0 to m - 2 do
+          if !ok then ge vs.(i) vs.(i + 1)
+        done;
+        for i = m - 2 downto 0 do
+          if !ok then ge vs.(i) vs.(i + 1)
+        done
+    | Symmetry.Blocks cols ->
+        let nc = Array.length cols in
+        let len = if nc = 0 then 0 else Array.length cols.(0) in
+        for j = 0 to nc - 2 do
+          if !ok then begin
             s.ticks <- s.ticks + 1;
-            for i = 0 to m - 2 do
-              if !ok then ge vs.(i) vs.(i + 1)
-            done;
-            for i = m - 2 downto 0 do
-              if !ok then ge vs.(i) vs.(i + 1)
+            let a = cols.(j) and b = cols.(j + 1) in
+            let i = ref 0 and go = ref true in
+            while !ok && !go && !i < len do
+              let u = a.(!i) and v = b.(!i) in
+              ge u v;
+              (* the component ordering is only implied while every
+                 earlier component pair is forced equal *)
+              if
+                !ok
+                && s.lb.(u) = s.ub.(u)
+                && s.lb.(v) = s.ub.(v)
+                && s.lb.(u) = s.lb.(v)
+              then incr i
+              else go := false
             done
-        | Symmetry.Blocks cols ->
-            let nc = Array.length cols in
-            let len = if nc = 0 then 0 else Array.length cols.(0) in
-            for j = 0 to nc - 2 do
-              if !ok then begin
-                s.ticks <- s.ticks + 1;
-                let a = cols.(j) and b = cols.(j + 1) in
-                let i = ref 0 and go = ref true in
-                while !ok && !go && !i < len do
-                  let u = a.(!i) and v = b.(!i) in
-                  ge u v;
-                  (* the component ordering is only implied while every
-                     earlier component pair is forced equal *)
-                  if
-                    !ok
-                    && s.lb.(u) = s.ub.(u)
-                    && s.lb.(v) = s.ub.(v)
-                    && s.lb.(u) = s.lb.(v)
-                  then incr i
-                  else go := false
-                done
-              end
-            done)
-    s.opts.orbits;
+          end
+        done
+  done;
   !ok
 
-(* Worklist propagation to fixpoint starting from the given variables (or
-   all rows when [None]).  [budget] caps the number of row propagations:
-   an exhausted budget stops early and reports [true] — sound for probing
-   trials, where a missed deduction only means a missed fixing, never a
-   wrong one (callers undo the trial bounds either way). *)
-let propagate ?(budget = max_int) s seeds =
+(* Reset the worklist for a fresh fixpoint: a new generation invalidates
+   all membership stamps in O(1) and the ring rewinds. *)
+let prop_enter s =
   (match s.stats with
   | Some st -> st.Stats.prop_fixpoints <- st.Stats.prop_fixpoints + 1
   | None -> ());
-  (* Scratch reuse: probing calls this hundreds of times per node, so the
-     worklist queue and its membership stamps live in the search record —
-     a fresh generation number invalidates all stamps in O(1). *)
   s.prop_gen <- s.prop_gen + 1;
-  let gen = s.prop_gen in
-  let pending = s.prop_queue in
-  Queue.clear pending;
-  let queued = s.prop_queued in
-  let enqueue_row i =
-    if queued.(i) <> gen then begin
-      queued.(i) <- gen;
-      Queue.add i pending
+  s.q_head <- 0;
+  s.q_tail <- 0
+
+(* The objective cutoff row participates whenever a cutoff is known.  Its
+   tightenings enqueue ordinary rows, so the whole thing must run to a
+   joint fixpoint with the drain loop. *)
+let obj_pass s =
+  if not s.has_obj_row then begin
+    s.obj_dirty <- false;
+    true
+  end
+  else begin
+    let c = cutoff s in
+    if c = max_int then begin
+      (* no cutoff: the row's huge rhs can't deduce anything — stay clean
+         so the pending-work check below terminates *)
+      s.obj_dirty <- false;
+      true
     end
-  in
-  let touch v = Array.iter enqueue_row s.occ_rows.(v) in
-  (match seeds with
-  | None -> Array.iteri (fun i _ -> enqueue_row i) s.rows
-  | Some vars -> List.iter touch vars);
+    else begin
+      let ri = s.n_rows in
+      if c - 1 < s.row_rhs.(ri) then begin
+        s.row_rhs.(ri) <- c - 1;
+        s.obj_dirty <- true
+      end;
+      (* A scan can only deduce something new when the row's slack shrank,
+         i.e. its minact rose or its rhs dropped — exactly what sets the
+         dirty flag.  (Upper-bound cuts on positive-coefficient objective
+         variables leave every threshold lb(v) + slack/a unchanged.) *)
+      if s.obj_dirty then begin
+        s.obj_dirty <- false;
+        propagate_row s ri
+      end
+      else true
+    end
+  end
+
+(* Run the seeded worklist to fixpoint.  [budget] caps the number of row
+   propagations: an exhausted budget stops early and reports [true] —
+   sound for probing trials, where a missed deduction only means a missed
+   fixing, never a wrong one (callers undo the trial bounds either way). *)
+let prop_run ?(budget = max_int) s =
   let ok = ref true in
   let left = ref budget in
-  (* The objective cutoff row participates whenever a cutoff is known.  Its
-     tightenings enqueue ordinary rows, so the whole thing must run to a
-     joint fixpoint: drain the queue, re-run the cutoff pass, and repeat
-     until neither produces new work. *)
-  let obj_pass () =
-    match s.obj_row with
-    | None -> true
-    | Some r ->
-        let c = cutoff s in
-        if c = max_int then true
-        else begin
-          if c - 1 < r.rhs then r.rhs <- c - 1;
-          propagate_row s r ~touch
-        end
-  in
   let drain () =
-    while !ok && !left > 0 && not (Queue.is_empty pending) do
+    while !ok && !left > 0 && s.q_head <> s.q_tail do
       (* Deep propagation-heavy subtrees must still honour the limits:
          check on a coarse tick counter rather than only per node. *)
       s.ticks <- s.ticks + 1;
       decr left;
       if s.ticks land 2047 = 0 then check_limits s;
-      let i = Queue.take pending in
-      queued.(i) <- 0;
-      if not (propagate_row s s.rows.(i) ~touch) then ok := false
+      let i = Array.unsafe_get s.prop_queue (s.q_head land s.queue_mask) in
+      s.q_head <- s.q_head + 1;
+      Array.unsafe_set s.prop_queued i 0;
+      if not (propagate_row s i) then ok := false
     done
   in
   let rec fixpoint () =
     drain ();
     if !ok && !left > 0 then
-      if not (obj_pass ()) then ok := false
-      else if s.opts.orbits <> [] && not (orbit_pass s ~touch) then ok := false
-      else if not (Queue.is_empty pending) then fixpoint ()
+      if not (obj_pass s) then ok := false
+      else if s.orbit_top > 0 && not (orbit_pass s) then ok := false
+        (* orbit enforcement may move an objective variable's minact side
+           without enqueueing any ordinary row, so pending obj work keeps
+           the fixpoint going too *)
+      else if s.q_head <> s.q_tail || s.obj_dirty then fixpoint ()
   in
   fixpoint ();
   (match s.stats with
@@ -425,10 +541,30 @@ let propagate ?(budget = max_int) s seeds =
   | Some _ | None -> ());
   !ok
 
+(* Worklist propagation to fixpoint starting from the given variables (or
+   all rows when [None]). *)
+let propagate ?budget s seeds =
+  prop_enter s;
+  (match seeds with
+  | None ->
+      for i = 0 to s.n_rows - 1 do
+        enqueue_row s i
+      done;
+      s.obj_dirty <- true;
+      enqueue_all_orbits s
+  | Some vars -> List.iter (fun v -> touch s v) vars);
+  prop_run ?budget s
+
+(* Single-seed fast path for branching and probing: no list allocation. *)
+let propagate1 ?budget s v =
+  prop_enter s;
+  touch s v;
+  prop_run ?budget s
+
 (* --- bounding ---------------------------------------------------------- *)
 
 let objective_min_activity s =
-  match s.obj_row with Some r -> r.minact | None -> 0
+  if s.has_obj_row then s.row_minact.(s.n_rows) else 0
 
 (* The LP is float-based; round up only past a safety margin so the integer
    bound can never overshoot the true optimum. *)
@@ -567,12 +703,12 @@ let probe_fixpoint s ~max_passes =
           | None -> ());
           let m = mark s in
           set_ub s v lo;
-          let ok_lo = propagate s (Some [ v ]) in
+          let ok_lo = propagate1 s v in
           undo_to s m;
           if not ok_lo then begin
             set_lb s v hi;
             changed := true;
-            if not (propagate s (Some [ v ])) then alive := false
+            if not (propagate1 s v) then alive := false
           end
           else begin
             (match s.stats with
@@ -580,12 +716,12 @@ let probe_fixpoint s ~max_passes =
             | None -> ());
             let m = mark s in
             set_lb s v hi;
-            let ok_hi = propagate s (Some [ v ]) in
+            let ok_hi = propagate1 s v in
             undo_to s m;
             if not ok_hi then begin
               set_ub s v lo;
               changed := true;
-              if not (propagate s (Some [ v ])) then alive := false
+              if not (propagate1 s v) then alive := false
             end
           end
         end;
@@ -631,18 +767,20 @@ let probe_candidates s ~w =
   s.probe_hit <- false;
   let alive = ref true in
   let seen = ref 0 in
-  let i = ref 0 in
+  (* everything before [branch_head] is fixed, so start the scan there *)
+  let i = ref s.branch_head in
   let n_seq = Array.length s.branch_seq in
   while !alive && !i < n_seq && !seen < w do
     let v = s.branch_seq.(!i) in
     if s.ub.(v) - s.lb.(v) = 1 then begin
       incr seen;
       let dirty = ref false in
-      let occ = s.occ_rows.(v) in
+      let occ1 = s.occ_start.(v + 1) in
       let last = s.probe_stamp.(v) in
-      let j = ref 0 in
-      while (not !dirty) && !j < Array.length occ do
-        if s.rows.(occ.(!j)).stamp > last then dirty := true;
+      let j = ref s.occ_start.(v) in
+      while (not !dirty) && !j < occ1 do
+        if s.row_stamp.(Array.unsafe_get s.occ_row !j) > last then
+          dirty := true;
         incr j
       done;
       if !dirty then begin
@@ -665,7 +803,7 @@ let probe_candidates s ~w =
           | None -> ());
           s.no_stamp <- true;
           set_ub s v lo;
-          let ok = propagate ~budget:probe_budget s (Some [ v ]) in
+          let ok = propagate1 ~budget:probe_budget s v in
           undo_to s m;
           s.no_stamp <- false;
           ok
@@ -673,7 +811,7 @@ let probe_candidates s ~w =
         if not ok_lo then begin
           s.probe_hit <- true;
           set_lb s v hi;
-          if not (propagate s (Some [ v ])) then alive := false
+          if not (propagate1 s v) then alive := false
         end
         else begin
           let ok_hi =
@@ -685,7 +823,7 @@ let probe_candidates s ~w =
             | None -> ());
             s.no_stamp <- true;
             set_lb s v hi;
-            let ok = propagate ~budget:probe_budget s (Some [ v ]) in
+            let ok = propagate1 ~budget:probe_budget s v in
             undo_to s m;
             s.no_stamp <- false;
             ok
@@ -693,7 +831,7 @@ let probe_candidates s ~w =
           if not ok_hi then begin
             s.probe_hit <- true;
             set_ub s v lo;
-            if not (propagate s (Some [ v ])) then alive := false
+            if not (propagate1 s v) then alive := false
           end
         end
       end
@@ -719,9 +857,10 @@ let record_incumbent s =
           ^ String.concat "; " errs));
     s.incumbent <- Some x;
     s.incumbent_obj <- obj;
-    (match s.obj_row with
-    | Some r -> if obj - 1 < r.rhs then r.rhs <- obj - 1
-    | None -> ());
+    if s.has_obj_row && obj - 1 < s.row_rhs.(s.n_rows) then begin
+      s.row_rhs.(s.n_rows) <- obj - 1;
+      s.obj_dirty <- true
+    end;
     (match s.opts.shared_incumbent with
     | Some a ->
         (* lower the shared bound to [obj] unless someone got there first *)
@@ -756,21 +895,36 @@ let record_incumbent s =
 let pick_branch_var s =
   let seq = s.branch_seq in
   let n_seq = Array.length seq in
+  (* Skip the fixed prefix once and remember where it ends: deep subtrees
+     would otherwise rescan hundreds of fixed variables at every node.
+     [undo_to] moves the cursor back whenever backtracking re-widens an
+     earlier variable, so the skip is always sound. *)
+  let h = ref s.branch_head in
+  while
+    !h < n_seq
+    &&
+    let v = Array.unsafe_get seq !h in
+    Array.unsafe_get s.ub v = Array.unsafe_get s.lb v
+  do
+    incr h
+  done;
+  s.branch_head <- !h;
   let w = max 1 s.opts.branch_window in
   let best = ref (-1) in
   let best_dom = ref max_int in
   let best_act = ref neg_infinity in
   let seen = ref 0 in
-  let i = ref 0 in
+  let i = ref !h in
   while !i < n_seq && !seen < w do
-    let v = seq.(!i) in
-    let dom = s.ub.(v) - s.lb.(v) in
+    let v = Array.unsafe_get seq !i in
+    let dom = Array.unsafe_get s.ub v - Array.unsafe_get s.lb v in
     if dom > 0 then begin
       incr seen;
-      if dom < !best_dom || (dom = !best_dom && s.act.(v) > !best_act) then begin
+      let a = Array.unsafe_get s.act v in
+      if dom < !best_dom || (dom = !best_dom && a > !best_act) then begin
         best := v;
         best_dom := dom;
-        best_act := s.act.(v)
+        best_act := a
       end
     end;
     incr i
@@ -855,37 +1009,74 @@ and branch s depth =
   | None -> record_incumbent s
   | Some v ->
       let lo = s.lb.(v) and hi = s.ub.(v) in
-      let values =
-        if hi - lo <= 8 then begin
-          (* enumerate values, hint (or preferred end) first *)
-          let all = List.init (hi - lo + 1) (fun i -> lo + i) in
-          let all = if s.opts.prefer_high then List.rev all else all in
-          match s.value_hint with
-          | Some h when h.(v) >= lo && h.(v) <= hi ->
-              h.(v) :: List.filter (fun x -> x <> h.(v)) all
-          | Some _ | None -> all
-        end
-        else []
+      (* Batched sibling LPs: when the children will run LP bounds, stash
+         the engine's current (parent) factorization once and restore it
+         before every later sibling, so each child re-solves from the
+         shared parent basis instead of from wherever the previous
+         sibling's subtree drifted the engine — fewer dual pivots and no
+         recovery refactorizations mid-branch. *)
+      let batch =
+        match s.lp_st with
+        | Some st when st.fails < 50 && use_lp_at s (depth + 1) ->
+            Simplex.stash st.inst ~slot:depth
+        | Some _ | None -> false
       in
-      if values <> [] then
-        List.iter
-          (fun value ->
-            let m = mark s in
-            set_lb s v value;
-            set_ub s v value;
-            if propagate s (Some [ v ]) then dfs s (depth + 1);
-            undo_to s m)
-          values
+      let first = ref true in
+      let enter () =
+        if !first then first := false
+        else if batch then begin
+          match s.lp_st with
+          | Some st when Simplex.unstash st.inst ~slot:depth -> (
+              match s.stats with
+              | Some t -> t.Stats.lp_batched <- t.Stats.lp_batched + 1
+              | None -> ())
+          | Some _ | None -> ()
+        end
+      in
+      let try_value value =
+        let m = mark s in
+        set_lb s v value;
+        set_ub s v value;
+        if propagate1 s v then begin
+          enter ();
+          dfs s (depth + 1)
+        end;
+        undo_to s m
+      in
+      if hi - lo <= 8 then begin
+        (* enumerate values, hint (or preferred end) first — same order
+           as [child_paths], with no list construction *)
+        let hint =
+          match s.value_hint with
+          | Some h when h.(v) >= lo && h.(v) <= hi -> h.(v)
+          | Some _ | None -> min_int
+        in
+        if hint <> min_int then try_value hint;
+        if s.opts.prefer_high then
+          for value = hi downto lo do
+            if value <> hint then try_value value
+          done
+        else
+          for value = lo to hi do
+            if value <> hint then try_value value
+          done
+      end
       else begin
         (* wide integer domain: bisect *)
         let mid = lo + ((hi - lo) / 2) in
         let m = mark s in
         set_ub s v mid;
-        if propagate s (Some [ v ]) then dfs s (depth + 1);
+        if propagate1 s v then begin
+          enter ();
+          dfs s (depth + 1)
+        end;
         undo_to s m;
         let m = mark s in
         set_lb s v (mid + 1);
-        if propagate s (Some [ v ]) then dfs s (depth + 1);
+        if propagate1 s v then begin
+          enter ();
+          dfs s (depth + 1)
+        end;
         undo_to s m
       end
 
@@ -897,7 +1088,7 @@ and branch s depth =
    the possibly-strengthened model and the warm instance (already hot on
    the cut-augmented root LP) for the search to keep using. *)
 let root_cut_loop ?deadline ?stats ?started ~(options : options) model =
-  match Simplex.instance_of_model model with
+  match Simplex.instance_of_model ~pricing:options.pricing model with
   | None -> (model, None)
   | Some inst ->
       let t0 = match started with Some t -> t | None -> now () in
@@ -1035,87 +1226,151 @@ let cut_phase ?stats ~(options : options) ~started model =
       Option.map (fun tl -> started +. (0.25 *. tl)) options.time_limit
     in
     root_cut_loop ?deadline ?stats ~started ~options model
-  else (model, Simplex.instance_of_model model)
+  else (model, Simplex.instance_of_model ~pricing:options.pricing model)
 
 (* Build the full search state for [model]: normalized rows, occurrence
    lists, incremental activities, the warm LP engine, and the warm-start
    incumbent.  [model] must already carry its lex rows and cuts. *)
 let build_search ?stats ~(options : options) ~started model warm_inst =
   let n = Model.n_vars model in
-  let lb = Array.make n 0 and ub = Array.make n 0 in
-  for v = 0 to n - 1 do
-    let l, u = Model.bounds model v in
-    lb.(v) <- l;
-    ub.(v) <- u
-  done;
-  (* Normalize rows to Le. *)
-  let rows = ref [] in
+  let lb = Model.lower_bounds model and ub = Model.upper_bounds model in
+  (* Normalize rows to Le, as (coefs, vars, rhs) triples in model order
+     (Eq splits into the positive row then the negated one). *)
+  let rev_rows = ref [] and n_rows = ref 0 in
   Array.iter
     (fun (c : Model.constr) ->
       let terms = Array.of_list (Linexpr.terms c.Model.expr) in
-      let neg = Array.map (fun (a, v) -> (-a, v)) terms in
+      let vars = Array.map snd terms in
+      let pos () = (Array.map fst terms, vars, c.Model.rhs) in
+      let neg () = (Array.map (fun (a, _) -> -a) terms, vars, -c.Model.rhs) in
       match c.Model.sense with
-      | Model.Le -> rows := row_of_terms terms c.Model.rhs :: !rows
-      | Model.Ge -> rows := row_of_terms neg (-c.Model.rhs) :: !rows
+      | Model.Le ->
+          rev_rows := pos () :: !rev_rows;
+          incr n_rows
+      | Model.Ge ->
+          rev_rows := neg () :: !rev_rows;
+          incr n_rows
       | Model.Eq ->
-          rows :=
-            row_of_terms neg (-c.Model.rhs)
-            :: row_of_terms terms c.Model.rhs
-            :: !rows)
+          rev_rows := neg () :: pos () :: !rev_rows;
+          n_rows := !n_rows + 2)
     (Model.constraints model);
-  let rows = Array.of_list (List.rev !rows) in
-  (* Occurrence lists, deduped and split by coefficient sign.  [occ_rows]
-     drives worklist enqueueing; the pos/neg lists drive the incremental
-     min-activity updates on lower/upper bound changes respectively. *)
-  let occ_all = Array.make (max n 1) [] in
-  Array.iteri
-    (fun i r ->
-      Array.iteri
-        (fun t a -> occ_all.(r.vars.(t)) <- (i, a) :: occ_all.(r.vars.(t)))
-        r.coefs)
-    rows;
-  let occ_rows =
-    Array.map
-      (fun l -> Array.of_list (List.sort_uniq compare (List.map fst l)))
-      occ_all
-  in
-  let signed keep =
-    let ri =
-      Array.map
-        (fun l ->
-          Array.of_list (List.rev_map fst (List.filter (fun (_, a) -> keep a) l)))
-        occ_all
-    in
-    let a =
-      Array.map
-        (fun l ->
-          Array.of_list (List.rev_map snd (List.filter (fun (_, a) -> keep a) l)))
-        occ_all
-    in
-    (ri, a)
-  in
-  let occ_pos_ri, occ_pos_a = signed (fun a -> a > 0) in
-  let occ_neg_ri, occ_neg_a = signed (fun a -> a < 0) in
+  let row_list = List.rev !rev_rows in
+  let n_rows = !n_rows in
   let obj_terms = Array.of_list (Linexpr.terms (Model.objective model)) in
+  let has_obj_row = Array.length obj_terms > 0 in
+  (* Flatten the rows (objective cutoff row last) into one CSR block. *)
+  let nnz =
+    List.fold_left (fun acc (c, _, _) -> acc + Array.length c) 0 row_list
+    + Array.length obj_terms
+  in
+  let row_start = Array.make (n_rows + 2) 0 in
+  let row_coef = Array.make (max nnz 1) 0 in
+  let row_var = Array.make (max nnz 1) 0 in
+  let row_rhs = Array.make (n_rows + 1) 0 in
+  let k = ref 0 in
+  List.iteri
+    (fun i (coefs, vars, rhs) ->
+      row_start.(i) <- !k;
+      row_rhs.(i) <- rhs;
+      Array.iteri
+        (fun t a ->
+          row_coef.(!k) <- a;
+          row_var.(!k) <- vars.(t);
+          incr k)
+        coefs)
+    row_list;
+  row_start.(n_rows) <- !k;
+  row_rhs.(n_rows) <- max_int / 2;
+  Array.iter
+    (fun (a, v) ->
+      row_coef.(!k) <- a;
+      row_var.(!k) <- v;
+      incr k)
+    obj_terms;
+  row_start.(n_rows + 1) <- !k;
+  (* Occurrence lists over the ordinary rows, deduped and split by
+     coefficient sign, flattened to CSR.  [occ_row] drives worklist
+     enqueueing; the pos/neg pairs drive the incremental min-activity
+     updates on lower/upper bound changes respectively. *)
+  let occ_all = Array.make (max n 1) [] in
+  for ri = n_rows - 1 downto 0 do
+    for t = row_start.(ri + 1) - 1 downto row_start.(ri) do
+      let v = row_var.(t) in
+      occ_all.(v) <- (ri, row_coef.(t)) :: occ_all.(v)
+    done
+  done;
+  let flatten_rows sel =
+    let start = Array.make (n + 1) 0 in
+    let total = ref 0 in
+    for v = 0 to n - 1 do
+      total := !total + List.length (sel occ_all.(v))
+    done;
+    let ri = Array.make (max !total 1) 0 in
+    let aa = Array.make (max !total 1) 0 in
+    let k = ref 0 in
+    for v = 0 to n - 1 do
+      start.(v) <- !k;
+      List.iter
+        (fun (r, a) ->
+          ri.(!k) <- r;
+          aa.(!k) <- a;
+          incr k)
+        (sel occ_all.(v))
+    done;
+    start.(n) <- !k;
+    (start, ri, aa)
+  in
+  let occ_start, occ_row, _ =
+    flatten_rows (fun l ->
+        List.map (fun r -> (r, 0)) (List.sort_uniq compare (List.map fst l)))
+  in
+  let occ_pos_start, occ_pos_ri, occ_pos_a =
+    flatten_rows (List.filter (fun (_, a) -> a > 0))
+  in
+  let occ_neg_start, occ_neg_ri, occ_neg_a =
+    flatten_rows (List.filter (fun (_, a) -> a < 0))
+  in
   let objc = Array.make (max n 1) 0 in
   Array.iter (fun (a, v) -> objc.(v) <- a) obj_terms;
-  let obj_row =
-    if Array.length obj_terms = 0 then None
-    else Some (row_of_terms obj_terms (max_int / 2))
+  (* Orbits flattened for worklist enforcement: an array of descriptors
+     plus a CSR var -> orbit-indices map driving dirty marking. *)
+  let orbits_arr = Array.of_list options.orbits in
+  let n_orb = Array.length orbits_arr in
+  let iter_orbit_vars oi f =
+    match orbits_arr.(oi) with
+    | Symmetry.Scalar vs -> Array.iter f vs
+    | Symmetry.Blocks cols -> Array.iter (fun col -> Array.iter f col) cols
   in
+  let var_orbit_start = Array.make (n + 1) 0 in
+  for oi = 0 to n_orb - 1 do
+    iter_orbit_vars oi (fun v ->
+        if v >= 0 && v < n then
+          var_orbit_start.(v + 1) <- var_orbit_start.(v + 1) + 1)
+  done;
+  for v = 0 to n - 1 do
+    var_orbit_start.(v + 1) <- var_orbit_start.(v + 1) + var_orbit_start.(v)
+  done;
+  let var_orbit_idx = Array.make (max 1 var_orbit_start.(n)) 0 in
+  let fill = Array.copy var_orbit_start in
+  for oi = 0 to n_orb - 1 do
+    iter_orbit_vars oi (fun v ->
+        if v >= 0 && v < n then begin
+          var_orbit_idx.(fill.(v)) <- oi;
+          fill.(v) <- fill.(v) + 1
+        end)
+  done;
   (* Initial min-activities from the root bounds; every later bound change
-     updates them through the trail. *)
-  let init_minact (r : row) =
+     updates them through the trail.  The loop covers the cutoff row too
+     (its range is empty without an objective). *)
+  let row_minact = Array.make (n_rows + 1) 0 in
+  for ri = 0 to n_rows do
     let acc = ref 0 in
-    Array.iteri
-      (fun i a ->
-        let v = r.vars.(i) in
-        acc := !acc + if a > 0 then a * lb.(v) else a * ub.(v))
-      r.coefs;
-    r.minact <- !acc
-  in
-  Array.iter init_minact rows;
-  Option.iter init_minact obj_row;
+    for t = row_start.(ri) to row_start.(ri + 1) - 1 do
+      let a = row_coef.(t) and v = row_var.(t) in
+      acc := !acc + (if a > 0 then a * lb.(v) else a * ub.(v))
+    done;
+    row_minact.(ri) <- !acc
+  done;
   let branch_seq =
     match options.branch_order with
     | None -> Array.init n (fun i -> i)
@@ -1126,10 +1381,19 @@ let build_search ?stats ~(options : options) ~started model warm_inst =
         let rest = List.filter (fun v -> not seen.(v)) (List.init n Fun.id) in
         Array.of_list (pref @ rest)
   in
+  let seq_pos = Array.make (max n 1) 0 in
+  Array.iteri (fun i v -> seq_pos.(v) <- i) branch_seq;
   let warm =
     match options.warm_start with
     | Some x when Array.length x = n && Model.check model x = Ok () -> Some x
     | Some _ | None -> None
+  in
+  let queue_cap =
+    let c = ref 1 in
+    while !c < n_rows + 1 do
+      c := !c * 2
+    done;
+    !c
   in
   let s =
     {
@@ -1137,16 +1401,34 @@ let build_search ?stats ~(options : options) ~started model warm_inst =
       n;
       lb;
       ub;
-      rows;
-      occ_rows;
+      n_rows;
+      has_obj_row;
+      row_start;
+      row_coef;
+      row_var;
+      row_rhs;
+      row_minact;
+      row_stamp = Array.make (n_rows + 1) 1;
+      occ_start;
+      occ_row;
+      occ_pos_start;
       occ_pos_ri;
       occ_pos_a;
+      occ_neg_start;
       occ_neg_ri;
       occ_neg_a;
       obj_terms;
       objc;
-      obj_row;
-      trail = Stack.create ();
+      obj_dirty = true;
+      orbits_arr;
+      var_orbit_start;
+      var_orbit_idx;
+      orbit_dirty = Array.make (max 1 n_orb) true;
+      orbit_stack = Array.init (max 1 n_orb) (fun i -> i);
+      orbit_top = n_orb;
+      trail_entry = Array.make 256 0;
+      trail_old = Array.make 256 0;
+      trail_len = 0;
       opts = options;
       started;
       incumbent = None;
@@ -1165,8 +1447,11 @@ let build_search ?stats ~(options : options) ~started model warm_inst =
               at_optimum = false;
             })
           warm_inst;
-      prop_queue = Queue.create ();
-      prop_queued = Array.make (max (Array.length rows) 1) 0;
+      prop_queue = Array.make queue_cap 0;
+      queue_mask = queue_cap - 1;
+      q_head = 0;
+      q_tail = 0;
+      prop_queued = Array.make (n_rows + 1) 0;
       prop_gen = 0;
       probe_stamp = Array.make (max n 1) 0;
       change_gen = 1;
@@ -1182,6 +1467,8 @@ let build_search ?stats ~(options : options) ~started model warm_inst =
       probe_depth =
         (if Model.n_constraints model <= 512 then max_int else 8);
       branch_seq;
+      seq_pos;
+      branch_head = 0;
       act = Array.make (max n 1) 0.0;
       act_inc = 1.0;
       value_hint = options.warm_start;
@@ -1195,7 +1482,7 @@ let build_search ?stats ~(options : options) ~started model warm_inst =
     if obj < s.incumbent_obj then begin
       s.incumbent <- Some (Array.copy x);
       s.incumbent_obj <- obj;
-      match s.obj_row with Some r -> r.rhs <- obj - 1 | None -> ()
+      if s.has_obj_row then s.row_rhs.(s.n_rows) <- obj - 1
     end
   in
   Option.iter install warm;
@@ -1209,17 +1496,30 @@ let build_search ?stats ~(options : options) ~started model warm_inst =
   s
 
 (* End-of-search stamping of the counters that are kept outside the hot
-   path: propagation ticks live in the search record, the simplex pivot
-   total in the warm instance. *)
+   path: propagation ticks live in the search record; the simplex pivot,
+   iteration and refactorization totals in the warm instance. *)
 let finalize_stats s =
-  match s.stats with
+  (match s.stats with
   | None -> ()
   | Some st -> (
       st.Stats.prop_ticks <- st.Stats.prop_ticks + s.ticks;
       match s.lp_st with
       | Some l ->
-          st.Stats.lp_pivots <- st.Stats.lp_pivots + Simplex.pivots l.inst
-      | None -> ())
+          st.Stats.lp_pivots <- st.Stats.lp_pivots + Simplex.pivots l.inst;
+          st.Stats.lp_iters <- st.Stats.lp_iters + Simplex.iters l.inst;
+          st.Stats.lp_refactors <-
+            st.Stats.lp_refactors + Simplex.refactors l.inst
+      | None -> ()));
+  match (s.opts.trace, s.lp_st) with
+  | Some tr, Some l ->
+      Trace.emit tr ~time_s:(now () -. s.started)
+        (Trace.Lp
+           {
+             pivots = Simplex.pivots l.inst;
+             iters = Simplex.iters l.inst;
+             refactors = Simplex.refactors l.inst;
+           })
+  | _ -> ()
 
 (* Phase-boundary timer: [tick stats last set] charges the wall clock
    since [!last] to one stats field and advances the boundary.  Per-solve
@@ -1347,14 +1647,15 @@ let reset_for_subtree s ~seed =
   s.probe_skip <- 0;
   Array.fill s.probe_stamp 0 (Array.length s.probe_stamp) 0;
   s.change_gen <- 1;
-  Array.iter (fun r -> r.stamp <- 1) s.rows;
+  Array.fill s.row_stamp 0 (Array.length s.row_stamp) 1;
   s.incumbent <- Option.map (fun (_, x) -> Array.copy x) seed;
   s.incumbent_obj <- (match seed with Some (o, _) -> o | None -> max_int);
-  (match s.obj_row with
-  | Some r ->
-      r.stamp <- 1;
-      r.rhs <- (match seed with Some (o, _) -> o - 1 | None -> max_int / 2)
-  | None -> ());
+  if s.has_obj_row then
+    s.row_rhs.(s.n_rows) <-
+      (match seed with Some (o, _) -> o - 1 | None -> max_int / 2);
+  s.obj_dirty <- true;
+  s.branch_head <- 0;
+  enqueue_all_orbits s;
   match s.lp_st with
   | Some st ->
       ignore (Simplex.restore st.inst st.root_basis);
@@ -1566,7 +1867,7 @@ let solve_parallel ?(options = default) ~jobs model =
           let winst =
             if options.lp = Lp_never then None
             else
-              match Simplex.instance_of_model model with
+              match Simplex.instance_of_model ~pricing:options.pricing model with
               | None -> None
               | Some inst ->
                   (* pay for the root LP once per worker so the saved root
@@ -1727,3 +2028,31 @@ let with_root_cuts ?(options = default) model =
     in
     fst (root_cut_loop ?deadline ~options model)
   end
+
+(* --- test + micro-benchmark hooks --------------------------------------- *)
+
+(* A bare search state: no LP, no cuts, no symmetry — just the normalized
+   rows and the incremental propagation machinery. *)
+let bare_options =
+  { default with lp = Lp_never; cuts = false; sym = false; orbits = [] }
+
+let row_min_activities ?lower ?upper model =
+  let s = build_search ~options:bare_options ~started:(now ()) model None in
+  (match lower with
+  | Some lbs -> Array.iteri (fun v b -> if b > s.lb.(v) then set_lb s v b) lbs
+  | None -> ());
+  (match upper with
+  | Some ubs -> Array.iteri (fun v b -> if b < s.ub.(v) then set_ub s v b) ubs
+  | None -> ());
+  Array.sub s.row_minact 0 s.n_rows
+
+let propagation_rate model ~sweeps =
+  let s = build_search ~options:bare_options ~started:(now ()) model None in
+  let t0 = now () in
+  for _ = 1 to max 1 sweeps do
+    let m = mark s in
+    ignore (propagate s None);
+    undo_to s m
+  done;
+  let dt = now () -. t0 in
+  if dt > 0.0 then float_of_int (max 1 sweeps) /. dt else infinity

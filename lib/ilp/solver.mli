@@ -52,6 +52,11 @@ type options = {
   time_limit : float option;  (** seconds *)
   node_limit : int option;
   lp : lp_mode;
+  pricing : Simplex.pricing;
+      (** leaving-row pricing rule for every warm LP engine this solve
+          creates (root cut loop, node bounding, parallel workers):
+          [Devex] (default) reference-weight pricing, or [Dantzig]
+          most-violated.  Both fall back to Bland's rule on stalls. *)
   cuts : bool;
       (** run the root cutting-plane loop ({!Cuts}: extended cover +
           clique cuts) before branching, when [lp] is not [Lp_never].
@@ -124,9 +129,10 @@ type options = {
 }
 
 val default : options
-(** No limits, [Lp_root], cuts on, no order, prefer 1, no warm start,
-    quiet, no cancellation token, no shared incumbent, symmetry breaking
-    on with auto-detected orbits, no stats, no trace. *)
+(** No limits, [Lp_root], devex pricing, cuts on, no order, prefer 1, no
+    warm start, quiet, no cancellation token, no shared incumbent,
+    symmetry breaking on with auto-detected orbits, no stats, no
+    trace. *)
 
 val solve : ?options:options -> Model.t -> outcome
 
@@ -161,3 +167,23 @@ val with_root_cuts : ?options:options -> Model.t -> Model.t
     and hands every member the same strengthened model with
     [cuts = false]).  Returns the model unchanged when [options] disables
     cuts or LP bounding. *)
+
+(** {2 Test and micro-benchmark hooks}
+
+    Thin windows into the propagation kernel, for property tests and the
+    [bench perf] micro-benchmark.  Both build a bare search state (no LP,
+    no cuts, no symmetry) over the model's normalized Le rows: Ge rows
+    negated, Eq rows split into a Le pair in model order. *)
+
+val row_min_activities :
+  ?lower:int array -> ?upper:int array -> Model.t -> int array
+(** Per-row minimal activities (sum of [coef * lb] over positive
+    coefficients plus [coef * ub] over negative ones) of the normalized
+    rows under the model bounds, optionally tightened by [lower]/[upper]
+    — tightenings are applied through the solver's incremental update
+    path, so this exercises exactly the machinery the search trusts. *)
+
+val propagation_rate : Model.t -> sweeps:int -> float
+(** Full propagation-fixpoint sweeps per second over [sweeps] repeats
+    (each sweep seeds every row, runs to fixpoint, and unwinds the
+    trail). *)

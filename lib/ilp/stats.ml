@@ -41,6 +41,9 @@ type t = {
   mutable lp_infeasible : int;  (* LP-infeasible verdicts *)
   mutable lp_cold : int;  (* cold two-phase solves (no warm engine) *)
   mutable lp_pivots : int;  (* cumulative dual pivots of the warm engine *)
+  mutable lp_iters : int;  (* cumulative dual-simplex iterations *)
+  mutable lp_refactors : int;  (* basis refactorizations of the warm engine *)
+  mutable lp_batched : int;  (* sibling re-solves from a stashed parent basis *)
   mutable rc_fixings : int;  (* variables fixed by reduced cost *)
   mutable orbit_fixings : int;  (* bound changes by the orbital propagator *)
   (* Primal progress: every incumbent improvement as
@@ -83,6 +86,9 @@ let create () =
     lp_infeasible = 0;
     lp_cold = 0;
     lp_pivots = 0;
+    lp_iters = 0;
+    lp_refactors = 0;
+    lp_batched = 0;
     rc_fixings = 0;
     orbit_fixings = 0;
     incumbents = [];
@@ -167,6 +173,9 @@ let merge a b =
     lp_infeasible = a.lp_infeasible + b.lp_infeasible;
     lp_cold = a.lp_cold + b.lp_cold;
     lp_pivots = a.lp_pivots + b.lp_pivots;
+    lp_iters = a.lp_iters + b.lp_iters;
+    lp_refactors = a.lp_refactors + b.lp_refactors;
+    lp_batched = a.lp_batched + b.lp_batched;
     rc_fixings = a.rc_fixings + b.rc_fixings;
     orbit_fixings = a.orbit_fixings + b.orbit_fixings;
     incumbents = List.sort (fun x y -> compare y x) (a.incumbents @ b.incumbents);
@@ -207,6 +216,8 @@ let pp ?time_s ppf t =
      cold), %d pivots"
     t.lp_resolves t.lp_warm t.lp_fallbacks t.lp_infeasible t.lp_cold
     t.lp_pivots;
+  fprintf ppf "@,lp engine: %d iters, %d refactors, %d batched siblings"
+    t.lp_iters t.lp_refactors t.lp_batched;
   fprintf ppf "@,fixings: %d reduced-cost, %d orbital" t.rc_fixings
     t.orbit_fixings;
   fprintf ppf "@,nodes: %d (max depth %d)" (total_nodes t) (max_depth t);

@@ -43,6 +43,15 @@ type t = {
   mutable lp_infeasible : int;
   mutable lp_cold : int;  (** cold two-phase solves *)
   mutable lp_pivots : int;  (** cumulative dual pivots *)
+  mutable lp_iters : int;
+      (** cumulative dual-simplex iterations (pivots plus degenerate and
+          repair iterations) of the warm engine *)
+  mutable lp_refactors : int;
+      (** basis refactorizations (periodic refreshes, drift audits,
+          restores) of the warm engine *)
+  mutable lp_batched : int;
+      (** sibling node LPs re-solved from a stashed parent factorization
+          instead of the previous sibling's drifted basis *)
   mutable rc_fixings : int;  (** variables fixed by reduced cost *)
   mutable orbit_fixings : int;  (** bound changes by orbital fixing *)
   mutable incumbents : (float * int * int) list;

@@ -14,6 +14,7 @@ type event =
   | Cut_round of { round : int; cuts : int }
   | Subtree of { id : int; depth : int }
   | Steal of { thief : int; victim : int }
+  | Lp of { pivots : int; iters : int; refactors : int }
   | Message of string
 
 type impl =
@@ -77,6 +78,10 @@ let write_jsonl oc time_s ev =
       Printf.fprintf oc
         "{\"t\":%.6f,\"ev\":\"steal\",\"thief\":%d,\"victim\":%d}" time_s
         thief victim
+  | Lp { pivots; iters; refactors } ->
+      Printf.fprintf oc
+        "{\"t\":%.6f,\"ev\":\"lp\",\"pivots\":%d,\"iters\":%d,\"refactors\":%d}"
+        time_s pivots iters refactors
   | Message m ->
       Printf.fprintf oc "{\"t\":%.6f,\"ev\":\"message\",\"text\":\"%s\"}"
         time_s (json_escape m));
@@ -91,7 +96,7 @@ let write_human oc time_s ev =
       Printf.fprintf oc "[ilp] incumbent %d after %d nodes (%.2fs)\n%!"
         objective nodes time_s
   | Message m -> Printf.fprintf oc "[ilp] %s\n%!" m
-  | Node _ | Prune _ | Cut_round _ | Subtree _ | Steal _ -> ()
+  | Node _ | Prune _ | Cut_round _ | Subtree _ | Steal _ | Lp _ -> ()
 
 let emit sink ~time_s ev =
   Mutex.lock sink.lock;

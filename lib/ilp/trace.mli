@@ -22,6 +22,10 @@ type event =
   | Subtree of { id : int; depth : int }
       (** a frontier subtree was spawned ([depth] = path length) *)
   | Steal of { thief : int; victim : int }
+  | Lp of { pivots : int; iters : int; refactors : int }
+      (** end-of-search totals of the warm LP engine (per worker in
+          parallel solves): cumulative dual pivots, dual-simplex
+          iterations and basis refactorizations *)
   | Message of string  (** free-form progress line *)
 
 type sink

@@ -621,9 +621,21 @@ let load_committed_snapshot () =
 
 let test_bench_snapshot_parse_committed () =
   let t = load_committed_snapshot () in
-  check_bool "committed snapshot is schema v2 or v3" true
+  check_bool "committed snapshot is schema v2, v3 or v4" true
     (t.Advbist.Bench_snapshot.version = 2
-    || t.Advbist.Bench_snapshot.version = 3);
+    || t.Advbist.Bench_snapshot.version = 3
+    || t.Advbist.Bench_snapshot.version = 4);
+  List.iter
+    (fun (c : Advbist.Bench_snapshot.circuit) ->
+      List.iter
+        (fun (r : Advbist.Bench_snapshot.row) ->
+          check_bool
+            (Printf.sprintf "%s k=%d throughput derived when absent" c.circuit
+               r.k)
+            true
+            (r.time_s <= 0.0 || r.nodes_per_sec > 0.0 || r.nodes = 0))
+        c.rows)
+    t.Advbist.Bench_snapshot.circuits;
   check_bool "snapshot has circuits" true
     (t.Advbist.Bench_snapshot.circuits <> []);
   check_bool "tseng is benched" true
@@ -644,7 +656,7 @@ let test_bench_snapshot_roundtrip () =
   | Error msg -> Alcotest.failf "re-rendered snapshot does not parse: %s" msg
   | Ok t' ->
       Alcotest.(check int)
-        "writer always emits schema v3" 3 t'.Advbist.Bench_snapshot.version;
+        "writer always emits schema v4" 4 t'.Advbist.Bench_snapshot.version;
       Alcotest.(check string)
         "render/parse/render is a fixpoint" s1
         (Advbist.Bench_snapshot.to_string t')
@@ -705,6 +717,53 @@ let test_bench_diff_flags_area_regression () =
        && (String.sub report i 4 = "FAIL" || contains (i + 1))
      in
      contains 0)
+
+(* A >20% node-throughput drop on a row that ran long enough to measure
+   (both sides >= 0.05 s, baseline rate nonzero) must surface as a Warn —
+   and only a Warn: throughput is machine-dependent, so it never gates. *)
+let test_bench_diff_flags_throughput_drop () =
+  let open Advbist.Bench_snapshot in
+  let baseline = load_committed_snapshot () in
+  let measurable (r : row) = r.time_s >= 0.05 && r.nodes_per_sec > 0.0 in
+  let circuit, k =
+    match
+      List.find_map
+        (fun (c : circuit) ->
+          List.find_map
+            (fun (r : row) -> if measurable r then Some (c.circuit, r.k) else None)
+            c.rows)
+        baseline.circuits
+    with
+    | Some pick -> pick
+    | None -> Alcotest.fail "no committed row runs long enough to measure"
+  in
+  let current =
+    {
+      baseline with
+      circuits =
+        List.map
+          (fun (c : circuit) ->
+            if c.circuit <> circuit then c
+            else
+              {
+                c with
+                rows =
+                  List.map
+                    (fun (r : row) ->
+                      if r.k = k then
+                        { r with nodes_per_sec = r.nodes_per_sec /. 2.0 }
+                      else r)
+                    c.rows;
+              })
+          baseline.circuits;
+    }
+  in
+  let findings = diff ~baseline ~current in
+  check_bool "throughput drop is not a failure" true (not (has_failures findings));
+  check_bool "throughput drop is warned" true
+    (List.exists
+       (fun f -> f.severity = Warn && f.circuit = circuit && f.k = Some k)
+       findings)
 
 let () =
   Alcotest.run "advbist"
@@ -783,11 +842,13 @@ let () =
         [
           Alcotest.test_case "parse committed snapshot" `Quick
             test_bench_snapshot_parse_committed;
-          Alcotest.test_case "v3 round-trip fixpoint" `Quick
+          Alcotest.test_case "v4 round-trip fixpoint" `Quick
             test_bench_snapshot_roundtrip;
           Alcotest.test_case "self-diff is clean" `Quick
             test_bench_diff_self_clean;
           Alcotest.test_case "area regression flagged" `Quick
             test_bench_diff_flags_area_regression;
+          Alcotest.test_case "throughput drop warned" `Quick
+            test_bench_diff_flags_throughput_drop;
         ] );
     ]

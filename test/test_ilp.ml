@@ -1030,6 +1030,122 @@ let prop_parallel_matches_brute_force =
           Option.get r.Ilp.Solver.objective = expect
       | _ -> false)
 
+(* -- Flat kernel cross-checks --------------------------------------------- *)
+
+(* Devex and Dantzig leaving-row rules must land on the same LP optimum,
+   both on the cold first solve and on warm dual re-solves under the kind
+   of bound fixings branch-and-bound performs. *)
+let prop_devex_matches_dantzig =
+  QCheck2.Test.make ~name:"devex = Dantzig LP optimum (cold and warm)"
+    ~count:200
+    QCheck2.Gen.(pair gen_small_model (int_range 0 1_000_000))
+    (fun (spec, seed) ->
+      let m = build_model spec in
+      let n = Ilp.Model.n_vars m in
+      let agree ra rb =
+        match (ra, rb) with
+        | ( Ilp.Simplex.Optimal { objective = oa; _ },
+            Ilp.Simplex.Optimal { objective = ob; _ } ) ->
+            abs_float (oa -. ob) <= 1e-6
+        | Ilp.Simplex.Infeasible, Ilp.Simplex.Infeasible -> true
+        | Ilp.Simplex.Unbounded, Ilp.Simplex.Unbounded -> true
+        | Ilp.Simplex.Iteration_limit, _ | _, Ilp.Simplex.Iteration_limit ->
+            true (* no claim made *)
+        | _ -> false
+      in
+      match
+        ( Ilp.Simplex.instance_of_model ~pricing:Ilp.Simplex.Dantzig m,
+          Ilp.Simplex.instance_of_model ~pricing:Ilp.Simplex.Devex m )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          agree (Ilp.Simplex.resolve a) (Ilp.Simplex.resolve b)
+          &&
+          let rng = Random.State.make [| seed |] in
+          let ok = ref true in
+          for _ = 1 to 4 do
+            let v = Random.State.int rng n in
+            let x = float_of_int (Random.State.int rng 2) in
+            Ilp.Simplex.set_bounds a v ~lo:x ~up:x;
+            Ilp.Simplex.set_bounds b v ~lo:x ~up:x;
+            if not (agree (Ilp.Simplex.resolve a) (Ilp.Simplex.resolve b))
+            then ok := false
+          done;
+          !ok
+      | _ -> false)
+
+(* The flat CSR kernel's incremental minimal activities must equal an
+   independent recomputation from the boxed model: normalize exactly as
+   the solver does (Le as-is, Ge negated, Eq split positive-then-negated)
+   and fold each row's min activity directly from the bounds. *)
+let prop_flat_min_activities =
+  QCheck2.Test.make
+    ~name:"flat min-activities = boxed recomputation under random fixings"
+    ~count:300
+    QCheck2.Gen.(pair gen_small_model (int_range 0 1_000_000))
+    (fun (spec, seed) ->
+      let m = build_model spec in
+      let n = Ilp.Model.n_vars m in
+      let rng = Random.State.make [| seed |] in
+      let lower = Array.make n 0 and upper = Array.make n 1 in
+      for v = 0 to n - 1 do
+        match Random.State.int rng 3 with
+        | 0 -> upper.(v) <- 0
+        | 1 -> lower.(v) <- 1
+        | _ -> ()
+      done;
+      let min_activity terms =
+        List.fold_left
+          (fun acc (c, v) ->
+            acc + if c > 0 then c * lower.(v) else c * upper.(v))
+          0 terms
+      in
+      let expect =
+        Array.of_list
+          (List.concat_map
+             (fun (c : Ilp.Model.constr) ->
+               let terms = Ilp.Linexpr.terms c.Ilp.Model.expr in
+               let neg = List.map (fun (a, v) -> (-a, v)) terms in
+               match c.Ilp.Model.sense with
+               | Ilp.Model.Le -> [ min_activity terms ]
+               | Ilp.Model.Ge -> [ min_activity neg ]
+               | Ilp.Model.Eq -> [ min_activity terms; min_activity neg ])
+             (Array.to_list (Ilp.Model.constraints m)))
+      in
+      Ilp.Solver.row_min_activities ~lower ~upper m = expect)
+
+(* The optimum must be invariant to both the pricing rule and the worker
+   count; within one pricing rule the reported solution must be identical
+   across jobs (first-found determinism). *)
+let prop_pricing_and_jobs_invariant =
+  QCheck2.Test.make
+    ~name:"optimum invariant to pricing rule and worker count" ~count:60
+    gen_small_model (fun spec ->
+      let m = build_model spec in
+      let run pricing jobs =
+        Ilp.Solver.solve_parallel
+          ~options:{ Ilp.Solver.default with Ilp.Solver.pricing }
+          ~jobs m
+      in
+      let dv1 = run Ilp.Simplex.Devex 1 in
+      let dv3 = run Ilp.Simplex.Devex 3 in
+      let da1 = run Ilp.Simplex.Dantzig 1 in
+      let da3 = run Ilp.Simplex.Dantzig 3 in
+      dv1.Ilp.Solver.status = da1.Ilp.Solver.status
+      && dv1.Ilp.Solver.objective = da1.Ilp.Solver.objective
+      && dv3.Ilp.Solver.status = dv1.Ilp.Solver.status
+      && dv3.Ilp.Solver.objective = dv1.Ilp.Solver.objective
+      && dv3.Ilp.Solver.solution = dv1.Ilp.Solver.solution
+      && da3.Ilp.Solver.status = da1.Ilp.Solver.status
+      && da3.Ilp.Solver.objective = da1.Ilp.Solver.objective
+      && da3.Ilp.Solver.solution = da1.Ilp.Solver.solution
+      &&
+      match (brute_force m, dv1.Ilp.Solver.status) with
+      | None, Ilp.Solver.Infeasible -> true
+      | Some expect, Ilp.Solver.Optimal ->
+          Option.get dv1.Ilp.Solver.objective = expect
+      | _ -> false)
+
 (* -- Stats & trace ------------------------------------------------------- *)
 
 (* The 3x3 assignment model from test_bb_assignment, as a builder. *)
@@ -1350,6 +1466,13 @@ let () =
         [ Alcotest.test_case "deques" `Quick test_deques ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_parallel_matches_brute_force ] );
+      ( "flat_kernel",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_devex_matches_dantzig;
+            prop_flat_min_activities;
+            prop_pricing_and_jobs_invariant;
+          ] );
       ( "stats",
         [
           Alcotest.test_case "sequential solve" `Quick test_stats_sequential;
