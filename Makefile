@@ -22,14 +22,19 @@ bench-json:
 		dune exec bench/main.exe -- json
 
 # Bench regression diff: run the smoke sweep at the committed 2 s budget,
-# write a fresh schema-v4 snapshot to _build/bench_smoke.json, then diff it
+# write a fresh schema-v5 snapshot to _build/bench_smoke.json, then diff it
 # against the committed BENCH_solver.json.  Exits non-zero when any
 # (circuit, k) row's design area regressed or proven optimality was lost;
-# node-count / gap / time / phase-share drift is reported as warnings.
-# The full report lands in _build/bench_diff.txt.
+# node-count (localized to the prune reason whose share moved) / waste /
+# gap / time / phase-share drift is reported as warnings.  The full report
+# lands in _build/bench_diff.txt; the tseng k=1 smoke run also leaves its
+# JSONL search trace (_build/bench_smoke_trace.jsonl) and Ilp.Replay
+# post-mortem (_build/bench_smoke_explain.txt) behind for CI upload.
 bench-diff:
 	ADVBIST_BENCH_BUDGET=2 \
 	ADVBIST_BENCH_JSON_OUT=$(CURDIR)/_build/bench_smoke.json \
+	ADVBIST_BENCH_TRACE_OUT=$(CURDIR)/_build/bench_smoke_trace.jsonl \
+	ADVBIST_BENCH_EXPLAIN_OUT=$(CURDIR)/_build/bench_smoke_explain.txt \
 		dune exec bench/main.exe -- smoke
 	ADVBIST_BENCH_DIFF_OUT=$(CURDIR)/_build/bench_diff.txt \
 		dune exec bench/main.exe -- diff \

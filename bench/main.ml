@@ -400,8 +400,13 @@ let dirty_entries ~ignore_path =
   with Unix.Unix_error _ | Sys_error _ -> []
 
 (* One full k-sweep per circuit, with solver stats on, assembled into a
-   schema-v4 snapshot (Advbist.Bench_snapshot) — the shared measurement
-   core of the [json] and [smoke] arms. *)
+   schema-v5 snapshot (Advbist.Bench_snapshot) — the shared measurement
+   core of the [json] and [smoke] arms.  The v5 post-mortem fields come
+   from a second, separately-traced sweep: tracing costs per-node time,
+   so on budget-limited rows it would degrade the headline areas the
+   gate compares — the measured pass stays untraced and only the
+   attribution percentages are read off the traced twin (joined by k;
+   roughly doubles the run). *)
 let run_snapshot ~tag () =
   let started = Unix.gettimeofday () in
   let circuits =
@@ -417,6 +422,17 @@ let run_snapshot ~tag () =
             None
         | Ok (reference, rows) ->
             let wall = Unix.gettimeofday () -. t0 in
+            let explain_by_k =
+              match Advbist.Synth.sweep ~time_limit:budget ~jobs ~explain:true p with
+              | Ok (_, erows) ->
+                  List.filter_map
+                    (fun (er : Advbist.Synth.sweep_row) ->
+                      Option.map
+                        (fun rep -> (er.Advbist.Synth.k, rep))
+                        er.Advbist.Synth.outcome.Advbist.Synth.explain)
+                    erows
+              | Error _ -> []
+            in
             Some
               {
                 Advbist.Bench_snapshot.circuit = name;
@@ -444,13 +460,22 @@ let run_snapshot ~tag () =
                           (match o.Advbist.Synth.stats with
                           | Some st -> Ilp.Stats.phases st
                           | None -> []);
+                        waste_pct =
+                          Option.map
+                            (fun (r : Ilp.Replay.report) ->
+                              r.Ilp.Replay.waste_pct)
+                            (List.assoc_opt row.Advbist.Synth.k explain_by_k);
+                        prune_shares =
+                          (match List.assoc_opt row.Advbist.Synth.k explain_by_k with
+                          | Some r -> Ilp.Replay.prune_shares r
+                          | None -> []);
                       })
                     rows;
               })
       Circuits.Suite.all
   in
   {
-    Advbist.Bench_snapshot.version = 4;
+    Advbist.Bench_snapshot.version = 5;
     commit = git_commit ();
     budget_s = budget;
     jobs;
@@ -502,7 +527,10 @@ let bench_json () =
    status 1 on any regression, so a bounding-strength or warm-start
    regression fails `make ci` fast.  With ADVBIST_BENCH_JSON_OUT set the
    freshly measured sweep is also written as a snapshot — `make
-   bench-diff` feeds that to the [diff] arm for the full comparison. *)
+   bench-diff` feeds that to the [diff] arm for the full comparison.
+   With ADVBIST_BENCH_TRACE_OUT / ADVBIST_BENCH_EXPLAIN_OUT set, the
+   tseng k=1 run additionally leaves its JSONL search trace and the
+   Ilp.Replay post-mortem report behind as CI artifacts. *)
 let smoke () =
   let failures = ref 0 in
   (match Circuits.Suite.find "tseng" with
@@ -510,11 +538,29 @@ let smoke () =
       prerr_endline "smoke: tseng circuit missing";
       exit 1
   | Some p -> (
-      match Advbist.Synth.synthesize ~time_limit:budget p ~k:1 with
+      let trace_out = Sys.getenv_opt "ADVBIST_BENCH_TRACE_OUT" in
+      let explain_out = Sys.getenv_opt "ADVBIST_BENCH_EXPLAIN_OUT" in
+      let trace = Option.map Ilp.Trace.file trace_out in
+      let explain = explain_out <> None in
+      match Advbist.Synth.synthesize ~time_limit:budget ?trace ~explain p ~k:1 with
       | Error msg ->
           Printf.eprintf "smoke: tseng k=1 failed: %s\n" msg;
           exit 1
       | Ok o ->
+          Option.iter Ilp.Trace.close trace;
+          Option.iter
+            (fun path -> Printf.printf "smoke: wrote %s\n" path)
+            trace_out;
+          (match (explain_out, o.Advbist.Synth.explain) with
+          | Some path, Some report ->
+              let oc = open_out path in
+              let ppf = Format.formatter_of_out_channel oc in
+              Format.fprintf ppf "%a@?" Ilp.Replay.render_report report;
+              close_out oc;
+              Printf.printf "smoke: wrote %s\n" path
+          | Some path, None ->
+              Printf.eprintf "smoke: no explain report captured for %s\n" path
+          | None, _ -> ());
           Printf.printf
             "smoke: tseng k=1 area=%d optimal=%b nodes=%d time=%.3fs\n"
             o.Advbist.Synth.area o.Advbist.Synth.optimal o.Advbist.Synth.nodes

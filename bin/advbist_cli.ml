@@ -174,6 +174,17 @@ let trace_arg =
            incumbents, cut rounds, subtree spawns/steals) to $(docv) as \
            JSON lines.")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Capture the solve's search trace and print a post-mortem to \
+           stderr: prune-reason attribution, wasted work against the \
+           final incumbent, primal/dual gap closure, per-depth and \
+           per-orbit branching profiles.  Composes with --trace (the \
+           sink still receives every event).")
+
 let format_arg =
   Arg.(
     value
@@ -245,7 +256,7 @@ let ref_cmd =
 
 let synth_cmd =
   let run circuit file time_limit k meth verilog lp portfolio jobs sym steal
-      stats trace_file pricing =
+      stats trace_file explain pricing =
     let p = or_die (load ~circuit ~file) in
     let k = Option.value k ~default:(Dfg.Problem.n_modules p) in
     Option.iter
@@ -261,13 +272,17 @@ let synth_cmd =
           let o =
             or_die
               (Advbist.Synth.synthesize ~time_limit ~portfolio ~jobs ~sym
-                 ~steal ~stats ?trace ~pricing p ~k)
+                 ~steal ~stats ?trace ~explain ~pricing p ~k)
           in
           (match o.Advbist.Synth.stats with
           | Some st ->
               Format.eprintf "%a@."
                 (Ilp.Stats.pp ~time_s:o.Advbist.Synth.solve_time)
                 st
+          | None -> ());
+          (match o.Advbist.Synth.explain with
+          | Some report ->
+              Format.eprintf "%a@?" Ilp.Replay.render_report report
           | None -> ());
           ( o.Advbist.Synth.plan,
             if o.Advbist.Synth.optimal then "optimal"
@@ -298,18 +313,19 @@ let synth_cmd =
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ k_arg $ method_arg
       $ verilog_arg $ lp_arg $ portfolio_arg $ jobs_arg $ sym_arg $ steal_arg
-      $ stats_arg $ trace_arg $ pricing_arg)
+      $ stats_arg $ trace_arg $ explain_arg $ pricing_arg)
 
 (* -- sweep --------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run circuit file time_limit fmt jobs sym steal stats trace_file pricing =
+  let run circuit file time_limit fmt jobs sym steal stats trace_file explain
+      pricing =
     let p = or_die (load ~circuit ~file) in
     let trace = Option.map Ilp.Trace.file trace_file in
     let reference, rows =
       or_die
         (Advbist.Synth.sweep ~time_limit ~jobs ~sym ~steal ~stats ?trace
-           ~pricing p)
+           ~explain ~pricing p)
     in
     Option.iter Ilp.Trace.close trace;
     Format.printf "reference area %d%s@." reference.Advbist.Synth.ref_area
@@ -326,6 +342,13 @@ let sweep_cmd =
     (match Advbist.Synth.sweep_stats ~reference rows with
     | Some st -> Format.eprintf "%a@." (Ilp.Stats.pp ?time_s:None) st
     | None -> ());
+    List.iter
+      (fun { Advbist.Synth.k; outcome = o; _ } ->
+        match o.Advbist.Synth.explain with
+        | Some report ->
+            Format.eprintf "k=%d %a@?" k Ilp.Replay.render_report report
+        | None -> ())
+      rows;
     print_string
       (Advbist.Report.render_sweep fmt (Advbist.Report.sweep_points rows))
   in
@@ -335,7 +358,7 @@ let sweep_cmd =
     Term.(
       const run $ circuit_arg $ file_arg $ time_limit_arg $ format_arg
       $ jobs_arg $ sym_arg $ steal_arg $ stats_arg $ trace_arg
-      $ pricing_arg)
+      $ explain_arg $ pricing_arg)
 
 (* -- compare ------------------------------------------------------------- *)
 

@@ -210,10 +210,49 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print model dimensions.")
     Term.(const run $ file_arg)
 
+let explain_cmd =
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL search trace (from --trace).")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Additionally export the trace as Chrome trace-event JSON \
+             (load in chrome://tracing or Perfetto).")
+  in
+  let run trace_file chrome =
+    match Ilp.Replay.of_file trace_file with
+    | Error msg ->
+        Printf.eprintf "ilp: %s: %s\n" trace_file msg;
+        exit 1
+    | Ok events ->
+        let report = Ilp.Replay.analyze events in
+        Format.printf "%a@?" Ilp.Replay.render_report report;
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Ilp.Replay.chrome_of_events events));
+            Printf.printf "chrome trace written to %s\n" path)
+          chrome
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Post-mortem of a recorded search trace: prune-reason \
+          attribution, wasted work against the final incumbent, \
+          primal/dual gap closure, per-depth and per-variable profiles.")
+    Term.(const run $ trace_pos $ chrome_arg)
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "ilp" ~version:"1.0.0"
              ~doc:"Standalone 0-1/integer linear programming solver")
-          [ solve_cmd; relax_cmd; stats_cmd ]))
+          [ solve_cmd; relax_cmd; stats_cmd; explain_cmd ]))

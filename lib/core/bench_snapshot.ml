@@ -1,4 +1,4 @@
-(* Bench snapshot file format (read v2/v3/v4, write v4) and regression
+(* Bench snapshot file format (read v2..v5, write v5) and regression
    diffing.  The JSON parser below covers exactly the subset the
    snapshots use (objects, arrays, strings, numbers, booleans, null) —
    enough to round-trip our own files without a JSON dependency. *)
@@ -13,6 +13,8 @@ type row = {
   gap_pct : float;
   nodes_per_sec : float;
   phase_s : (string * float) list;
+  waste_pct : float option;
+  prune_shares : (string * float) list;
 }
 
 type circuit = {
@@ -232,6 +234,7 @@ let schema_version = function
   | "advbist-solver-bench/2" -> 2
   | "advbist-solver-bench/3" -> 3
   | "advbist-solver-bench/4" -> 4
+  | "advbist-solver-bench/5" -> 5
   | s -> raise (Parse_error (Printf.sprintf "unknown schema %S" s))
 
 let derive_nodes_per_sec ~nodes ~time_s =
@@ -259,6 +262,17 @@ let row_of_json j =
       | Some (Obj fields) ->
           List.map (fun (name, v) -> (name, as_num name v)) fields
       | Some _ -> raise (Parse_error "phase_s: expected object")
+      | None -> []);
+    (* v5 post-mortem fields; pre-v5 snapshots simply lack them *)
+    waste_pct =
+      (match field_opt "waste_pct" j with
+      | Some v -> Some (as_num "waste_pct" v)
+      | None -> None);
+    prune_shares =
+      (match field_opt "prune_shares" j with
+      | Some (Obj fields) ->
+          List.map (fun (name, v) -> (name, as_num name v)) fields
+      | Some _ -> raise (Parse_error "prune_shares: expected object")
       | None -> []);
   }
 
@@ -302,13 +316,13 @@ let of_file path =
   | contents -> of_string contents
   | exception Sys_error msg -> Error msg
 
-(* ---------- rendering (always v4) ---------- *)
+(* ---------- rendering (always v5) ---------- *)
 
 let to_string t =
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"advbist-solver-bench/4\",\n";
+  bpf "  \"schema\": \"advbist-solver-bench/5\",\n";
   bpf "  \"commit\": %S,\n" t.commit;
   bpf "  \"budget_s\": %g,\n" t.budget_s;
   bpf "  \"jobs\": %d,\n" t.jobs;
@@ -338,6 +352,17 @@ let to_string t =
                    (List.map
                       (fun (name, v) -> Printf.sprintf "%S: %.3f" name v)
                       phases)));
+          (match r.waste_pct with
+          | Some w -> bpf ",\n          \"waste_pct\": %.2f" w
+          | None -> ());
+          (match r.prune_shares with
+          | [] -> ()
+          | shares ->
+              bpf ",\n          \"prune_shares\": { %s }"
+                (String.concat ", "
+                   (List.map
+                      (fun (name, v) -> Printf.sprintf "%S: %.2f" name v)
+                      shares)));
           bpf " }%s\n" (if ri < List.length c.rows - 1 then "," else " ]"))
         c.rows;
       bpf "    }%s\n" (if ci < List.length t.circuits - 1 then "," else ""))
@@ -381,10 +406,45 @@ let diff_row ~circuit (b : row) (c : row) =
   (* Node counts are only comparable between finished searches: on a
      budget-limited row the count is machine throughput, not tree size. *)
   let node_pct = pct_change ~from:(float_of_int b.nodes) ~to_:(float_of_int c.nodes) in
-  if b.optimal && c.optimal && Float.abs node_pct > 20.0 then
+  if b.optimal && c.optimal && Float.abs node_pct > 20.0 then begin
+    (* Localize the tree-size move to the pruning machinery whose share
+       of the closed nodes shifted most (v5 snapshots only): a smaller
+       lp_bound share with a bigger cutoff share says the LP got weaker,
+       not that propagation broke. *)
+    let attribution =
+      match (b.prune_shares, c.prune_shares) with
+      | [], _ | _, [] -> ""
+      | bs, cs ->
+          let reasons =
+            List.sort_uniq compare (List.map fst bs @ List.map fst cs)
+          in
+          let share l r = Option.value ~default:0.0 (List.assoc_opt r l) in
+          let best =
+            List.fold_left
+              (fun acc r ->
+                let d = share cs r -. share bs r in
+                match acc with
+                | Some (_, d') when Float.abs d' >= Float.abs d -> acc
+                | _ -> Some (r, d))
+              None reasons
+          in
+          (match best with
+          | Some (r, d) when Float.abs d > 1.0 ->
+              Printf.sprintf "; %s share %.0f%% -> %.0f%%" r (share bs r)
+                (share cs r)
+          | Some _ | None -> "")
+    in
     add Warn
-      (Printf.sprintf "node count moved %+.0f%% (%d -> %d)" node_pct b.nodes
-         c.nodes);
+      (Printf.sprintf "node count moved %+.0f%% (%d -> %d)%s" node_pct b.nodes
+         c.nodes attribution)
+  end;
+  (* Wasted work (v5): more of the tree opened above the final incumbent
+     means the warm start / early incumbents got worse. *)
+  (match (b.waste_pct, c.waste_pct) with
+  | Some bw, Some cw when cw -. bw > 10.0 ->
+      add Warn
+        (Printf.sprintf "wasted work grew %.1f%% -> %.1f%% of nodes" bw cw)
+  | _ -> ());
   if c.gap_pct -. b.gap_pct > 2.0 then
     add Warn
       (Printf.sprintf "gap grew %.2f -> %.2f points" b.gap_pct c.gap_pct);

@@ -1,14 +1,19 @@
 (** Solver bench snapshots: the on-disk JSON schema behind
     [BENCH_solver.json], and regression diffing between two snapshots.
 
-    The writer emits schema version 4 ([advbist-solver-bench/4]), which
-    extends version 3 (optional per-row [phase_s] object of solver phase
-    timings, as reported by {!Ilp.Stats.phases}) with a derived per-row
-    [nodes_per_sec] throughput.  The parser reads versions 2, 3 and 4;
-    version-2 rows parse with an empty [phase_s], and rows without a
-    [nodes_per_sec] field derive it as [nodes / time_s].  Parsing is
-    restricted to the subset of JSON these snapshots use — it is a file
-    format, not a general JSON library. *)
+    The writer emits schema version 5 ([advbist-solver-bench/5]), which
+    extends version 4 (per-row [nodes_per_sec] throughput over version
+    3's optional per-row [phase_s] phase timings, as reported by
+    {!Ilp.Stats.phases}) with the per-row search post-mortem of
+    {!Ilp.Replay}: an optional [waste_pct] (share of nodes an oracle
+    incumbent would have skipped) and a [prune_shares] object mapping
+    each prune reason to its percentage of the closed nodes.  The
+    parser reads versions 2 through 5; rows from older versions parse
+    with the newer fields empty/absent ([phase_s] = [[]],
+    [nodes_per_sec] derived as [nodes / time_s], [waste_pct] = [None],
+    [prune_shares] = [[]]).  Parsing is restricted to the subset of
+    JSON these snapshots use — it is a file format, not a general JSON
+    library. *)
 
 type row = {
   k : int;
@@ -23,6 +28,14 @@ type row = {
           predates v4 (0 when [time_s] is 0) *)
   phase_s : (string * float) list;
       (** per-phase seconds, in emission order; [[]] when absent (v2) *)
+  waste_pct : float option;
+      (** {!Ilp.Replay.report.waste_pct} for this row's solve: percent
+          of opened nodes whose parent bound already met the final
+          incumbent; [None] before v5 or when the bench ran without
+          explain capture *)
+  prune_shares : (string * float) list;
+      (** per-reason percentage of all pruned nodes
+          ({!Ilp.Replay.prune_shares}); [[]] before v5 *)
 }
 
 type circuit = {
@@ -49,7 +62,7 @@ val of_string : string -> (t, string) result
 val of_file : string -> (t, string) result
 
 val to_string : t -> string
-(** Rendered as schema version 4, regardless of [version]; parsing the
+(** Rendered as schema version 5, regardless of [version]; parsing the
     result back and rendering again is a fixpoint. *)
 
 (** {2 Regression diffing} *)
@@ -72,7 +85,11 @@ val diff : baseline:t -> current:t -> finding list
 
     [Warn]: node count moved more than 20% in either direction (only on
     rows both snapshots prove optimal — on a budget-limited row the
-    count is machine throughput, not tree size), the
+    count is machine throughput, not tree size; when both rows carry v5
+    [prune_shares] the finding names the prune reason whose share of
+    the closed nodes moved most, localizing the regression to the
+    pruning machinery responsible), wasted work ([waste_pct]) grew by
+    more than 10 points of the node count, the
     optimality gap grew by more than 2 points, a row's solve time grew
     by more than 20% (and at least 0.1 s), node throughput
     ([nodes_per_sec]) dropped by more than 20% (only when both rows ran

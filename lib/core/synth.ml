@@ -8,6 +8,7 @@ type outcome = {
   orbits : int;
   stolen : int;
   stats : Ilp.Stats.t option;
+  explain : Ilp.Replay.report option;
 }
 
 type reference = {
@@ -114,6 +115,39 @@ let run_solver ~portfolio ~jobs ~steal options model =
     Ilp.Solver.solve_parallel ~options ~jobs model
   else Ilp.Solver.solve ~options model
 
+(* Post-mortem capture: when [explain] is set the solve's trace is
+   routed to a private temp JSONL file, parsed back with {!Ilp.Replay}
+   and analyzed against the encoding's orbits.  A caller-supplied sink
+   still sees every event — the captured stream is replayed into it
+   after the solve (content-identical, just not live). *)
+let with_explain ~explain ?trace ~orbits run =
+  if not explain then (run trace, None)
+  else begin
+    let path = Filename.temp_file "advbist_trace" ".jsonl" in
+    let sink = Ilp.Trace.file path in
+    let r =
+      match run (Some sink) with
+      | r -> r
+      | exception e ->
+          Ilp.Trace.close sink;
+          (try Sys.remove path with Sys_error _ -> ());
+          raise e
+    in
+    Ilp.Trace.close sink;
+    let report =
+      match Ilp.Replay.of_file path with
+      | Ok events ->
+          (match trace with
+          | Some s ->
+              List.iter (fun (t, ev) -> Ilp.Trace.emit s ~time_s:t ev) events
+          | None -> ());
+          Some (Ilp.Replay.analyze ~orbits events)
+      | Error _ -> None
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    (r, report)
+  end
+
 (* Presolve runs here, outside the solver entry points, so its wall clock
    is stamped into the solve's stats record after the fact — the phase
    table then accounts for the whole pipeline, not just the search. *)
@@ -157,8 +191,8 @@ let reference ?time_limit ?node_limit ?symmetry ?(portfolio = false)
         }
 
 let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
-    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace ?pricing ?seed
-    (p : Dfg.Problem.t) ~k =
+    ?(jobs = 1) ?(sym = true) ?(steal = true) ?stats ?trace
+    ?(explain = false) ?pricing ?seed (p : Dfg.Problem.t) ~k =
   let n_regs = Dfg.Problem.min_registers p in
   let e = Encoding.build ?symmetry p ~n_regs ~k in
   (* Two warm-start candidates: the constructive heuristic's data path,
@@ -197,7 +231,7 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
     | None, s -> (s, None)
   in
   let options =
-    solver_options ?time_limit ?node_limit ?stats ?trace ?pricing ~sym e warm
+    solver_options ?time_limit ?node_limit ?stats ?pricing ~sym e warm
   in
   let options = { options with Ilp.Solver.incumbent_start = incumbent } in
   (* presolve keeps variable indices, so decoding solutions still works *)
@@ -208,8 +242,13 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
      typically halves the row count, pulling mid-size encodings under the
      basis-inverse budget. *)
   let options = { options with Ilp.Solver.lp = lp_mode model } in
-  let r = run_solver ~portfolio ~jobs ~steal options model in
-  stamp_presolve r presolve_s;
+  let r, report =
+    with_explain ~explain ?trace ~orbits:(Encoding.orbits e) (fun tr ->
+        let options = { options with Ilp.Solver.trace = tr } in
+        let r = run_solver ~portfolio ~jobs ~steal options model in
+        stamp_presolve r presolve_s;
+        r)
+  in
   match r.Ilp.Solver.solution with
   | None ->
       Error
@@ -252,12 +291,13 @@ let synthesize ?time_limit ?node_limit ?symmetry ?(portfolio = false)
               orbits = r.Ilp.Solver.orbits;
               stolen = r.Ilp.Solver.stolen;
               stats = r.Ilp.Solver.stats;
+              explain = report;
             })
 
 type sweep_row = { k : int; outcome : outcome; overhead_pct : float }
 
 let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
-    ?(steal = true) ?stats ?trace ?pricing p =
+    ?(steal = true) ?stats ?trace ?explain ?pricing p =
   let* reference =
     reference ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal ?stats
       ?trace ?pricing p
@@ -273,7 +313,7 @@ let sweep ?time_limit ?node_limit ?symmetry ?(jobs = 1) ?(sym = true)
     else
       let* outcome =
         synthesize ?time_limit ?node_limit ?symmetry ~jobs ~sym ~steal
-          ?stats ?trace ?pricing ~seed p ~k
+          ?stats ?trace ?explain ?pricing ~seed p ~k
       in
       let overhead_pct =
         Bist.Plan.overhead_pct outcome.plan ~reference:reference.ref_area

@@ -28,6 +28,11 @@ type outcome = {
       (** solver telemetry, present iff the solve ran with [stats];
           [presolve_s] covers the {!Ilp.Presolve} pass this module runs
           before handing the model to the solver *)
+  explain : Ilp.Replay.report option;
+      (** search post-mortem, present iff the solve ran with [explain]:
+          the solve's trace replayed through {!Ilp.Replay.analyze}
+          against the encoding's orbits — prune attribution, wasted
+          work, gap-closure curves *)
 }
 
 type reference = {
@@ -57,7 +62,8 @@ val reference :
 val synthesize :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool ->
   ?portfolio:bool -> ?jobs:int -> ?sym:bool -> ?steal:bool ->
-  ?stats:bool -> ?trace:Ilp.Trace.sink -> ?pricing:Ilp.Simplex.pricing ->
+  ?stats:bool -> ?trace:Ilp.Trace.sink -> ?explain:bool ->
+  ?pricing:Ilp.Simplex.pricing ->
   ?seed:Datapath.Netlist.t -> Dfg.Problem.t -> k:int ->
   (outcome, string) result
 (** [portfolio] races diverse solver configurations with a shared
@@ -66,7 +72,10 @@ val synthesize :
 
     [stats] (default false) collects solver telemetry into
     [outcome.stats]; [trace] installs a structured event sink
-    ({!Ilp.Trace}) for the solve.
+    ({!Ilp.Trace}) for the solve.  [explain] (default false) captures
+    the solve's trace internally and replays it into
+    [outcome.explain] — a caller-supplied [trace] sink still receives
+    every event, replayed after the solve rather than live.
 
     [sym], [jobs] and [steal] as in {!reference}.  [seed] is an
     already-synthesized data path (typically the previous k's design, or
@@ -89,7 +98,7 @@ type sweep_row = {
 val sweep :
   ?time_limit:float -> ?node_limit:int -> ?symmetry:bool -> ?jobs:int ->
   ?sym:bool -> ?steal:bool -> ?stats:bool -> ?trace:Ilp.Trace.sink ->
-  ?pricing:Ilp.Simplex.pricing ->
+  ?explain:bool -> ?pricing:Ilp.Simplex.pricing ->
   Dfg.Problem.t ->
   (reference * sweep_row list, string) result
 (** One design per k-test session, k = 1 .. N (N = number of modules) —
@@ -107,7 +116,9 @@ val sweep :
     status, objective and solution.
 
     [stats] and [trace] apply to every solve of the sweep (reference
-    included); aggregate the rows with {!sweep_stats}. *)
+    included); [explain] to every BIST row (each row's post-mortem
+    lands in its [outcome.explain]).  Aggregate the rows with
+    {!sweep_stats}. *)
 
 val sweep_stats : ?reference:reference -> sweep_row list -> Ilp.Stats.t option
 (** {!Ilp.Stats.merge} over every row's stats record (plus the reference

@@ -963,38 +963,58 @@ let probe_prune s =
   end
 
 (* Prune-reason telemetry: the reason is a constant constructor, so the
-   event record is only allocated once a sink is installed. *)
-let pruned s depth reason =
+   event record is only allocated once a sink is installed.  [bound] is
+   the dual bound that fired ([max_int] when the node was proven empty
+   rather than dominated), [nodes] the count at emission — both feed
+   {!Replay}'s attribution. *)
+let pruned s depth reason bound =
   match s.opts.trace with
   | Some tr ->
       Trace.emit tr ~time_s:(now () -. s.started)
-        (Trace.Prune { depth; reason })
+        (Trace.Prune { depth; reason; bound; nodes = s.nodes })
   | None -> ()
 
-let rec dfs s depth =
+(* [var]/[value] are the branching decision that created this node
+   ([var = -1] at a subtree root); they only exist for the trace, so the
+   disabled path still passes two immediates and allocates nothing. *)
+let rec dfs s depth ~var ~value =
   s.nodes <- s.nodes + 1;
   (match s.stats with Some st -> Stats.node st ~depth | None -> ());
   (match s.opts.trace with
   | Some tr ->
       Trace.emit tr ~time_s:(now () -. s.started)
-        (Trace.Node { depth; nodes = s.nodes })
+        (Trace.Node
+           {
+             depth;
+             nodes = s.nodes;
+             var;
+             value;
+             bound = objective_min_activity s;
+           })
   | None -> ());
   if s.nodes land 63 = 0 || use_lp_at s depth then check_limits s;
   let c = cutoff s in
   if c < max_int && objective_min_activity s >= c then
-    pruned s depth Trace.Cutoff
+    pruned s depth Trace.Cutoff (objective_min_activity s)
   else if
     depth > 0 && depth <= s.probe_depth && c < max_int && probe_prune s
-  then pruned s depth Trace.Probed
+  then pruned s depth Trace.Probed max_int
     (* Below the root an LP bound only prunes against an incumbent; skip
        the solve while there is none. *)
   else if use_lp_at s depth && (depth = 0 || c < max_int) then begin
     match lp_bound s with
-    | Bound_infeasible -> pruned s depth Trace.Lp_infeasible
+    | Bound_infeasible -> pruned s depth Trace.Lp_infeasible max_int
     | Bound_none -> branch s depth
     | Bound b ->
-        if depth = 0 && b > s.root_bound then s.root_bound <- b;
-        if c < max_int && b >= c then pruned s depth Trace.Lp_bound
+        if depth = 0 && b > s.root_bound then begin
+          s.root_bound <- b;
+          match s.opts.trace with
+          | Some tr ->
+              Trace.emit tr ~time_s:(now () -. s.started)
+                (Trace.Bound { bound = b; nodes = s.nodes })
+          | None -> ()
+        end;
+        if c < max_int && b >= c then pruned s depth Trace.Lp_bound b
         else if c = max_int then branch s depth
         else begin
           (* bound-based fixings join the node's propagation fixpoint *)
@@ -1039,7 +1059,7 @@ and branch s depth =
         set_ub s v value;
         if propagate1 s v then begin
           enter ();
-          dfs s (depth + 1)
+          dfs s (depth + 1) ~var:v ~value
         end;
         undo_to s m
       in
@@ -1068,14 +1088,14 @@ and branch s depth =
         set_ub s v mid;
         if propagate1 s v then begin
           enter ();
-          dfs s (depth + 1)
+          dfs s (depth + 1) ~var:v ~value:mid
         end;
         undo_to s m;
         let m = mark s in
         set_lb s v (mid + 1);
         if propagate1 s v then begin
           enter ();
-          dfs s (depth + 1)
+          dfs s (depth + 1) ~var:v ~value:(mid + 1)
         end;
         undo_to s m
       end
@@ -1548,7 +1568,17 @@ let solve ?(options = default) model =
       let root_ok = propagate s None && probe_fixpoint s ~max_passes:4 in
       tick stats last (fun st d -> st.Stats.root_s <- d);
       root_mark := mark s;
-      if root_ok then dfs s 0;
+      if root_ok then begin
+        (* first point of the dual curve: the root-propagated trivial
+           bound (depth-0 LP improvements emit further Bound events) *)
+        (match s.opts.trace with
+        | Some tr ->
+            Trace.emit tr ~time_s:(now () -. s.started)
+              (Trace.Bound
+                 { bound = objective_min_activity s; nodes = s.nodes })
+        | None -> ());
+        dfs s 0 ~var:(-1) ~value:0
+      end;
       true
     with Out_of_time -> false
   in
@@ -1831,6 +1861,12 @@ let solve_parallel ?(options = default) ~jobs model =
         Option.map (fun x -> (s0.incumbent_obj, x)) s0.incumbent
       in
       let root_bound = objective_min_activity s0 in
+      (match options.trace with
+      | Some tr ->
+          Trace.emit tr
+            ~time_s:(now () -. started)
+            (Trace.Bound { bound = root_bound; nodes = s0.nodes })
+      | None -> ());
       if frontier = [] || expansion_aborted then begin
         (* the whole tree closed during expansion, or a limit fired *)
         finalize_stats s0;
@@ -1921,7 +1957,7 @@ let solve_parallel ?(options = default) ~jobs model =
                    path;
                  let seeds = List.map (fun (v, _, _) -> v) path in
                  let open_ = propagate ws (Some seeds) in
-                 if open_ then dfs ws 0
+                 if open_ then dfs ws 0 ~var:(-1) ~value:0
                with Out_of_time -> Atomic.set incomplete true);
               undo_to ws m;
               match ws.incumbent with

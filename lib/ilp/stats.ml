@@ -216,8 +216,18 @@ let pp ?time_s ppf t =
      cold), %d pivots"
     t.lp_resolves t.lp_warm t.lp_fallbacks t.lp_infeasible t.lp_cold
     t.lp_pivots;
-  fprintf ppf "@,lp engine: %d iters, %d refactors, %d batched siblings"
-    t.lp_iters t.lp_refactors t.lp_batched;
+  (* The engine counters only mean something relative to the resolve
+     count: iters/resolve is the warm-start quality, batched share the
+     fraction of siblings that reused a stashed parent basis. *)
+  let per_resolve n =
+    if t.lp_resolves > 0 then float_of_int n /. float_of_int t.lp_resolves
+    else 0.0
+  in
+  fprintf ppf
+    "@,lp engine: %d iters (%.1f/resolve), %d refactors, %d batched siblings \
+     (%.0f%% of resolves)"
+    t.lp_iters (per_resolve t.lp_iters) t.lp_refactors t.lp_batched
+    (100.0 *. per_resolve t.lp_batched);
   fprintf ppf "@,fixings: %d reduced-cost, %d orbital" t.rc_fixings
     t.orbit_fixings;
   fprintf ppf "@,nodes: %d (max depth %d)" (total_nodes t) (max_depth t);

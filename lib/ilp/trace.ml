@@ -8,8 +8,9 @@
 type prune_reason = Cutoff | Probed | Lp_infeasible | Lp_bound
 
 type event =
-  | Node of { depth : int; nodes : int }
-  | Prune of { depth : int; reason : prune_reason }
+  | Node of { depth : int; nodes : int; var : int; value : int; bound : int }
+  | Prune of { depth : int; reason : prune_reason; bound : int; nodes : int }
+  | Bound of { bound : int; nodes : int }
   | Incumbent of { objective : int; nodes : int }
   | Cut_round of { round : int; cuts : int }
   | Subtree of { id : int; depth : int }
@@ -52,39 +53,46 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* One event, one line: {"t":<seconds>,"ev":"<kind>",...}. *)
-let write_jsonl oc time_s ev =
-  (match ev with
-  | Node { depth; nodes } ->
-      Printf.fprintf oc "{\"t\":%.6f,\"ev\":\"node\",\"depth\":%d,\"nodes\":%d}"
-        time_s depth nodes
-  | Prune { depth; reason } ->
-      Printf.fprintf oc
-        "{\"t\":%.6f,\"ev\":\"prune\",\"depth\":%d,\"reason\":\"%s\"}" time_s
-        depth (reason_name reason)
+(* One event, one line: {"t":<seconds>,"ev":"<kind>",...}.  Bounds are
+   printed as exact integers (a pruned-empty node carries [max_int],
+   which no float path could round-trip); {!Replay.event_of_line} is the
+   inverse of this renderer. *)
+let jsonl_line ~time_s ev =
+  match ev with
+  | Node { depth; nodes; var; value; bound } ->
+      Printf.sprintf
+        "{\"t\":%.6f,\"ev\":\"node\",\"depth\":%d,\"nodes\":%d,\"var\":%d,\"value\":%d,\"bound\":%d}"
+        time_s depth nodes var value bound
+  | Prune { depth; reason; bound; nodes } ->
+      Printf.sprintf
+        "{\"t\":%.6f,\"ev\":\"prune\",\"depth\":%d,\"reason\":\"%s\",\"bound\":%d,\"nodes\":%d}"
+        time_s depth (reason_name reason) bound nodes
+  | Bound { bound; nodes } ->
+      Printf.sprintf "{\"t\":%.6f,\"ev\":\"bound\",\"bound\":%d,\"nodes\":%d}"
+        time_s bound nodes
   | Incumbent { objective; nodes } ->
-      Printf.fprintf oc
+      Printf.sprintf
         "{\"t\":%.6f,\"ev\":\"incumbent\",\"objective\":%d,\"nodes\":%d}"
         time_s objective nodes
   | Cut_round { round; cuts } ->
-      Printf.fprintf oc
-        "{\"t\":%.6f,\"ev\":\"cut_round\",\"round\":%d,\"cuts\":%d}" time_s
-        round cuts
+      Printf.sprintf "{\"t\":%.6f,\"ev\":\"cut_round\",\"round\":%d,\"cuts\":%d}"
+        time_s round cuts
   | Subtree { id; depth } ->
-      Printf.fprintf oc
-        "{\"t\":%.6f,\"ev\":\"subtree\",\"id\":%d,\"depth\":%d}" time_s id
-        depth
+      Printf.sprintf "{\"t\":%.6f,\"ev\":\"subtree\",\"id\":%d,\"depth\":%d}"
+        time_s id depth
   | Steal { thief; victim } ->
-      Printf.fprintf oc
-        "{\"t\":%.6f,\"ev\":\"steal\",\"thief\":%d,\"victim\":%d}" time_s
-        thief victim
+      Printf.sprintf "{\"t\":%.6f,\"ev\":\"steal\",\"thief\":%d,\"victim\":%d}"
+        time_s thief victim
   | Lp { pivots; iters; refactors } ->
-      Printf.fprintf oc
+      Printf.sprintf
         "{\"t\":%.6f,\"ev\":\"lp\",\"pivots\":%d,\"iters\":%d,\"refactors\":%d}"
         time_s pivots iters refactors
   | Message m ->
-      Printf.fprintf oc "{\"t\":%.6f,\"ev\":\"message\",\"text\":\"%s\"}"
-        time_s (json_escape m));
+      Printf.sprintf "{\"t\":%.6f,\"ev\":\"message\",\"text\":\"%s\"}" time_s
+        (json_escape m)
+
+let write_jsonl oc time_s ev =
+  output_string oc (jsonl_line ~time_s ev);
   output_char oc '\n'
 
 (* The human sink reproduces the solver's historical [verbose] stderr
@@ -96,7 +104,8 @@ let write_human oc time_s ev =
       Printf.fprintf oc "[ilp] incumbent %d after %d nodes (%.2fs)\n%!"
         objective nodes time_s
   | Message m -> Printf.fprintf oc "[ilp] %s\n%!" m
-  | Node _ | Prune _ | Cut_round _ | Subtree _ | Steal _ | Lp _ -> ()
+  | Node _ | Prune _ | Bound _ | Cut_round _ | Subtree _ | Steal _ | Lp _ ->
+      ()
 
 let emit sink ~time_s ev =
   Mutex.lock sink.lock;
@@ -115,7 +124,11 @@ let events sink =
   let evs =
     match sink.impl with
     | Ring { q; _ } -> List.of_seq (Queue.to_seq q)
-    | Jsonl _ | Human _ -> []
+    | Jsonl _ | Human _ ->
+        Mutex.unlock sink.lock;
+        invalid_arg
+          "Trace.events: not a ring sink (replay a JSONL trace with \
+           Replay.of_file instead)"
   in
   Mutex.unlock sink.lock;
   evs

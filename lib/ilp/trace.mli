@@ -5,7 +5,12 @@
     per emission site (the event payload is only allocated when a sink
     is installed).  All sinks are domain-safe: writes are serialized
     with a mutex, so the parallel workers of
-    {!Solver.solve_parallel} can share one sink. *)
+    {!Solver.solve_parallel} can share one sink.
+
+    JSONL traces carry enough structure to reconstruct the search tree
+    after the fact: {!Replay} parses them back ({!jsonl_line} and
+    {!Replay.event_of_line} are inverses) and computes prune/waste
+    attribution. *)
 
 type prune_reason =
   | Cutoff  (** objective min-activity reached the incumbent cutoff *)
@@ -14,8 +19,21 @@ type prune_reason =
   | Lp_bound  (** the node LP bound reached the cutoff *)
 
 type event =
-  | Node of { depth : int; nodes : int }  (** a search node was opened *)
-  | Prune of { depth : int; reason : prune_reason }
+  | Node of { depth : int; nodes : int; var : int; value : int; bound : int }
+      (** a search node was opened: [var]/[value] are the branching
+          decision that created it ([var = -1] at a subtree root), and
+          [bound] is the node's objective min-activity on entry — the
+          cheapest certificate of its dual bound, recorded so replay can
+          charge children against it *)
+  | Prune of { depth : int; reason : prune_reason; bound : int; nodes : int }
+      (** the node was cut off: [bound] is the dual bound that fired
+          ([max_int] when the node was proven empty rather than
+          dominated: {!Probed} and {!Lp_infeasible}), [nodes] the node
+          count at emission *)
+  | Bound of { bound : int; nodes : int }
+      (** the global dual bound improved to [bound] (root propagation,
+          root cut loop, or a depth-0 LP re-solve) — together with
+          {!Incumbent} this gives replay both gap-closure curves *)
   | Incumbent of { objective : int; nodes : int }
   | Cut_round of { round : int; cuts : int }
       (** one root cut-loop round that separated [cuts] cuts *)
@@ -49,7 +67,26 @@ val emit : sink -> time_s:float -> event -> unit
 (** Record [event] at [time_s] seconds since the solve started. *)
 
 val events : sink -> (float * event) list
-(** Contents of a {!ring} sink, oldest first; [[]] for other sinks. *)
+(** Contents of a {!ring} sink, oldest first.
+
+    @raise Invalid_argument on {!file}, {!channel} and {!stderr_human}
+    sinks — their events are gone once written; parse a JSONL trace
+    back with {!Replay.of_file}. *)
+
+val jsonl_line : time_s:float -> event -> string
+(** The one-line JSON object a {!file}/{!channel} sink writes for
+    [event] (no trailing newline).  {!Replay.event_of_line} is its
+    inverse. *)
+
+val reason_name : prune_reason -> string
+(** Stable lower-case wire name ([cutoff], [probed], [lp_infeasible],
+    [lp_bound]) — the [reason] field of a JSONL prune line and the key
+    of {!Replay}'s per-reason attribution. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping used by the JSONL renderer (quotes,
+    backslashes, control characters); shared with {!Replay}'s Chrome
+    trace exporter. *)
 
 val close : sink -> unit
 (** Flush (and for {!file} sinks close) the underlying channel. *)

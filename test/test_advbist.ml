@@ -621,10 +621,9 @@ let load_committed_snapshot () =
 
 let test_bench_snapshot_parse_committed () =
   let t = load_committed_snapshot () in
-  check_bool "committed snapshot is schema v2, v3 or v4" true
-    (t.Advbist.Bench_snapshot.version = 2
-    || t.Advbist.Bench_snapshot.version = 3
-    || t.Advbist.Bench_snapshot.version = 4);
+  check_bool "committed snapshot is schema v2..v5" true
+    (t.Advbist.Bench_snapshot.version >= 2
+    && t.Advbist.Bench_snapshot.version <= 5);
   List.iter
     (fun (c : Advbist.Bench_snapshot.circuit) ->
       List.iter
@@ -656,7 +655,7 @@ let test_bench_snapshot_roundtrip () =
   | Error msg -> Alcotest.failf "re-rendered snapshot does not parse: %s" msg
   | Ok t' ->
       Alcotest.(check int)
-        "writer always emits schema v4" 4 t'.Advbist.Bench_snapshot.version;
+        "writer always emits schema v5" 5 t'.Advbist.Bench_snapshot.version;
       Alcotest.(check string)
         "render/parse/render is a fixpoint" s1
         (Advbist.Bench_snapshot.to_string t')
@@ -765,6 +764,102 @@ let test_bench_diff_flags_throughput_drop () =
        (fun f -> f.severity = Warn && f.circuit = circuit && f.k = Some k)
        findings)
 
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* Rewrite one (circuit, k) row of [t] through [f]. *)
+let map_row t ~circuit ~k f =
+  let open Advbist.Bench_snapshot in
+  {
+    t with
+    circuits =
+      List.map
+        (fun (c : circuit) ->
+          if c.circuit <> circuit then c
+          else
+            {
+              c with
+              rows = List.map (fun (r : row) -> if r.k = k then f r else r) c.rows;
+            })
+        t.circuits;
+  }
+
+(* A >20% node-count move between two finished searches must be warned,
+   and when both rows carry v5 prune attribution the warning must name
+   the reason whose share moved most. *)
+let test_bench_diff_localizes_node_regression () =
+  let open Advbist.Bench_snapshot in
+  let committed = load_committed_snapshot () in
+  let circuit, k =
+    match
+      List.find_map
+        (fun (c : circuit) ->
+          List.find_map
+            (fun (r : row) ->
+              if r.optimal && r.nodes > 0 then Some (c.circuit, r.k) else None)
+            c.rows)
+        committed.circuits
+    with
+    | Some pick -> pick
+    | None -> Alcotest.fail "no committed row is optimal with nodes > 0"
+  in
+  let baseline =
+    map_row committed ~circuit ~k (fun r ->
+        { r with prune_shares = [ ("probed", 80.0); ("cutoff", 20.0) ] })
+  in
+  let current =
+    map_row committed ~circuit ~k (fun r ->
+        {
+          r with
+          nodes = r.nodes * 2;
+          prune_shares = [ ("probed", 40.0); ("cutoff", 60.0) ];
+        })
+  in
+  let findings = diff ~baseline ~current in
+  check_bool "node-count move is a warn, not a fail" true
+    (not (has_failures findings));
+  let warn =
+    List.find_opt
+      (fun f ->
+        f.severity = Warn && f.circuit = circuit && f.k = Some k
+        && contains_sub f.what "node count")
+      findings
+  in
+  match warn with
+  | None -> Alcotest.fail "no node-count warning emitted"
+  | Some f ->
+      check_bool "warning names the shifted prune reason" true
+        (contains_sub f.what "cutoff share 20% -> 60%")
+
+(* A waste_pct jump of more than 10 points of the tree is its own warn. *)
+let test_bench_diff_flags_waste_growth () =
+  let open Advbist.Bench_snapshot in
+  let committed = load_committed_snapshot () in
+  let circuit, k =
+    match committed.circuits with
+    | c :: _ -> (c.circuit, (List.hd c.rows).k)
+    | [] -> Alcotest.fail "committed snapshot has no circuits"
+  in
+  let baseline =
+    map_row committed ~circuit ~k (fun r -> { r with waste_pct = Some 3.0 })
+  in
+  let current =
+    map_row committed ~circuit ~k (fun r -> { r with waste_pct = Some 25.0 })
+  in
+  let findings = diff ~baseline ~current in
+  check_bool "waste growth is a warn, not a fail" true
+    (not (has_failures findings));
+  check_bool "waste growth is warned" true
+    (List.exists
+       (fun f ->
+         f.severity = Warn && f.circuit = circuit && f.k = Some k
+         && contains_sub f.what "wasted work")
+       findings)
+
 let () =
   Alcotest.run "advbist"
     [
@@ -842,7 +937,7 @@ let () =
         [
           Alcotest.test_case "parse committed snapshot" `Quick
             test_bench_snapshot_parse_committed;
-          Alcotest.test_case "v4 round-trip fixpoint" `Quick
+          Alcotest.test_case "v5 round-trip fixpoint" `Quick
             test_bench_snapshot_roundtrip;
           Alcotest.test_case "self-diff is clean" `Quick
             test_bench_diff_self_clean;
@@ -850,5 +945,9 @@ let () =
             test_bench_diff_flags_area_regression;
           Alcotest.test_case "throughput drop warned" `Quick
             test_bench_diff_flags_throughput_drop;
+          Alcotest.test_case "node regression localized to prune reason" `Quick
+            test_bench_diff_localizes_node_regression;
+          Alcotest.test_case "waste growth warned" `Quick
+            test_bench_diff_flags_waste_growth;
         ] );
     ]

@@ -1374,6 +1374,161 @@ let test_trace_jsonl () =
          && l.[String.length l - 1] = '}')
        lines)
 
+(* -- Replay -------------------------------------------------------------- *)
+
+(* Histograms of different lengths must merge as if zero-padded: the two
+   QCheck merge laws above exercise this shape only by accident, so pin
+   it explicitly (including the empty [create ()] histogram). *)
+let test_stats_merge_unequal_hist () =
+  let a = Ilp.Stats.create () and b = Ilp.Stats.create () in
+  Ilp.Stats.node a ~depth:0;
+  Ilp.Stats.node a ~depth:2;
+  Ilp.Stats.node b ~depth:7;
+  let m = Ilp.Stats.merge a b in
+  check_int "total nodes" 3 (Ilp.Stats.total_nodes m);
+  check_int "max depth" 7 (Ilp.Stats.max_depth m);
+  check_int "depth 0 kept" 1 m.Ilp.Stats.depth_hist.(0);
+  check_int "depth 2 kept" 1 m.Ilp.Stats.depth_hist.(2);
+  check_int "short side zero-padded" 0 m.Ilp.Stats.depth_hist.(5);
+  check_int "depth 7 kept" 1 m.Ilp.Stats.depth_hist.(7);
+  let m' = Ilp.Stats.merge (Ilp.Stats.create ()) m in
+  check_int "empty histogram is a unit" 3 (Ilp.Stats.total_nodes m');
+  check_int "empty histogram keeps depth" 7 (Ilp.Stats.max_depth m')
+
+(* [Trace.events] only means something on a ring; on a write-through sink
+   it must refuse loudly (and leave the sink usable: the mutex is
+   released before the raise). *)
+let test_trace_events_raises_on_file_sink () =
+  let path = Filename.temp_file "ilp_trace" ".jsonl" in
+  let sink = Ilp.Trace.file path in
+  let raised =
+    try
+      ignore (Ilp.Trace.events sink);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "events on a file sink raises" true raised;
+  Ilp.Trace.emit sink ~time_s:0.5 (Ilp.Trace.Message "still alive");
+  Ilp.Trace.close sink;
+  (match Ilp.Replay.of_file path with
+  | Ok [ (_, Ilp.Trace.Message "still alive") ] -> ()
+  | Ok evs -> Alcotest.failf "unexpected events after raise: %d" (List.length evs)
+  | Error msg -> Alcotest.failf "sink unusable after raise: %s" msg);
+  Sys.remove path
+
+(* Every [Trace.event] constructor, with payloads covering negatives,
+   [max_int] (a pruned-empty node's bound — must round-trip bit-exactly,
+   which rules out any float path in the parser) and messages that need
+   every escape class. *)
+let gen_trace_event =
+  let open QCheck2.Gen in
+  let nat = int_range 0 5_000_000 in
+  let bound = oneof [ int_range (-10_000) 10_000; return max_int ] in
+  let reason =
+    oneofl
+      [
+        Ilp.Trace.Cutoff;
+        Ilp.Trace.Probed;
+        Ilp.Trace.Lp_infeasible;
+        Ilp.Trace.Lp_bound;
+      ]
+  in
+  let message =
+    string_size (int_range 0 30)
+      ~gen:
+        (oneofl
+           [ 'a'; 'Z'; '0'; ' '; '"'; '\\'; '\n'; '\t'; '\r'; '\x01'; '\x1f' ])
+  in
+  oneof
+    [
+      map
+        (fun ((depth, nodes), (var, value), bound) ->
+          Ilp.Trace.Node { depth; nodes; var; value; bound })
+        (triple
+           (pair (int_range 0 500) nat)
+           (pair (int_range (-1) 2000) (int_range (-50) 50))
+           bound);
+      map
+        (fun (depth, reason, (bound, nodes)) ->
+          Ilp.Trace.Prune { depth; reason; bound; nodes })
+        (triple (int_range 0 500) reason (pair bound nat));
+      map (fun (bound, nodes) -> Ilp.Trace.Bound { bound; nodes }) (pair bound nat);
+      map
+        (fun (objective, nodes) -> Ilp.Trace.Incumbent { objective; nodes })
+        (pair (int_range (-10_000) 10_000) nat);
+      map
+        (fun (round, cuts) -> Ilp.Trace.Cut_round { round; cuts })
+        (pair (int_range 0 50) (int_range 0 500));
+      map
+        (fun (id, depth) -> Ilp.Trace.Subtree { id; depth })
+        (pair nat (int_range 0 500));
+      map
+        (fun (thief, victim) -> Ilp.Trace.Steal { thief; victim })
+        (pair (int_range 0 63) (int_range 0 63));
+      map
+        (fun (pivots, (iters, refactors)) ->
+          Ilp.Trace.Lp { pivots; iters; refactors })
+        (pair nat (pair nat nat));
+      map (fun s -> Ilp.Trace.Message s) message;
+    ]
+
+let prop_trace_jsonl_roundtrip =
+  QCheck2.Test.make ~name:"Replay.event_of_line inverts Trace.jsonl_line"
+    ~count:1000
+    (* microsecond ticks: %.6f renders them exactly, so the parse must be
+       an identity and render/parse/render a fixpoint *)
+    QCheck2.Gen.(pair (int_range 0 1_000_000_000) gen_trace_event)
+    (fun (us, ev) ->
+      let time_s = float_of_int us /. 1e6 in
+      let line = Ilp.Trace.jsonl_line ~time_s ev in
+      match Ilp.Replay.event_of_line line with
+      | Error msg -> QCheck2.Test.fail_reportf "parse failed on %s: %s" line msg
+      | Ok (t, ev') ->
+          ev' = ev && Ilp.Trace.jsonl_line ~time_s:t ev' = line)
+
+(* End-to-end: solve with a JSONL sink, parse the trace back, and check
+   the post-mortem's books balance against the solver's own outcome. *)
+let test_replay_analyze_matches_solve () =
+  let path = Filename.temp_file "ilp_trace" ".jsonl" in
+  let sink = Ilp.Trace.file path in
+  let options = { Ilp.Solver.default with Ilp.Solver.trace = Some sink } in
+  let r = Ilp.Solver.solve ~options (assignment_model ()) in
+  Ilp.Trace.close sink;
+  let events =
+    match Ilp.Replay.of_file path with
+    | Ok evs -> evs
+    | Error msg -> Alcotest.failf "trace does not parse: %s" msg
+  in
+  Sys.remove path;
+  let rep = Ilp.Replay.analyze events in
+  check_int "replay counts every node" r.Ilp.Solver.nodes rep.Ilp.Replay.nodes;
+  check_int "prune rows sum to the total" rep.Ilp.Replay.pruned_total
+    (List.fold_left
+       (fun acc (p : Ilp.Replay.prune_row) -> acc + p.Ilp.Replay.count)
+       0 rep.Ilp.Replay.prunes);
+  check_bool "final incumbent is the optimum" true
+    (rep.Ilp.Replay.final_incumbent = r.Ilp.Solver.objective);
+  check_bool "waste within [0, 100]" true
+    (rep.Ilp.Replay.waste_pct >= 0.0 && rep.Ilp.Replay.waste_pct <= 100.0);
+  check_int "depth profile covers every node" rep.Ilp.Replay.nodes
+    (List.fold_left
+       (fun acc (d : Ilp.Replay.depth_row) -> acc + d.Ilp.Replay.opened)
+       0 rep.Ilp.Replay.depths);
+  (if rep.Ilp.Replay.pruned_total > 0 then
+     let total =
+       List.fold_left (fun a (_, s) -> a +. s) 0.0 (Ilp.Replay.prune_shares rep)
+     in
+     check_bool "prune shares sum to 100" true (Float.abs (total -. 100.0) < 1e-6));
+  let report = Format.asprintf "%a" Ilp.Replay.render_report rep in
+  check_bool "report renders" true (String.length report > 100);
+  let chrome =
+    String.trim (Ilp.Replay.chrome_of_events ~phases:[ ("search", 0.1) ] events)
+  in
+  check_bool "chrome export is a JSON array" true
+    (String.length chrome > 2
+    && chrome.[0] = '['
+    && chrome.[String.length chrome - 1] = ']')
+
 let () =
   Alcotest.run "ilp"
     [
@@ -1478,6 +1633,8 @@ let () =
           Alcotest.test_case "sequential solve" `Quick test_stats_sequential;
           Alcotest.test_case "jobs-invariant counters" `Quick
             test_stats_parallel_jobs_invariant;
+          Alcotest.test_case "merge pads unequal histograms" `Quick
+            test_stats_merge_unequal_hist;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_stats_merge_commutative; prop_stats_merge_associative ] );
@@ -1485,5 +1642,13 @@ let () =
         [
           Alcotest.test_case "ring sink" `Quick test_trace_ring;
           Alcotest.test_case "jsonl sink" `Quick test_trace_jsonl;
+          Alcotest.test_case "events raises off-ring" `Quick
+            test_trace_events_raises_on_file_sink;
         ] );
+      ( "replay",
+        [
+          Alcotest.test_case "analyze balances the books" `Quick
+            test_replay_analyze_matches_solve;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_trace_jsonl_roundtrip ] );
     ]
